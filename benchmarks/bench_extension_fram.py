@@ -1,0 +1,29 @@
+"""Extension study: NVM technology (paper footnote 8).
+
+The paper evaluates on flash because it is "the most commonly found NVM
+on commercial MCU boards", noting that FRAM consumes three orders of
+magnitude less write energy.  This extension quantifies the
+consequence: with cheap writes, backups are cheap, so NvMR's
+backup-avoidance buys almost nothing — renaming is a *flash-era*
+optimisation (and a wear-levelling one; FRAM endurance is also far
+higher).
+"""
+
+from repro.analysis import extension_nvm_technology, format_series
+
+from conftest import run_once
+
+
+def test_extension_nvm_technology(benchmark, settings, report):
+    series = run_once(benchmark, extension_nvm_technology, settings)
+    report(
+        "extension_nvm_technology",
+        format_series(
+            "Extension: NvMR % energy saved vs Clank, by NVM technology",
+            series,
+        ),
+    )
+    # The headline shape: NvMR's advantage is large on flash and nearly
+    # vanishes on FRAM.
+    assert series["flash"] > 10.0
+    assert series["fram"] < series["flash"] / 3

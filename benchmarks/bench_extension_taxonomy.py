@@ -1,0 +1,37 @@
+"""Extension study: the full Figure 2 design-space taxonomy.
+
+The paper's background (Section 2) tours four strategies for correct
+intermittent execution; its evaluation compares two of them (Clank,
+HOOP) against NvMR.  This extension puts *every* strategy on one axis,
+including Hibernus-style snapshot-everything (Figure 2a) and
+task-boundary backups (Figure 2c), all runs verified against the
+continuous reference.
+
+Expected shape: NvMR/JIT wins or ties on violation-heavy benchmarks;
+Hibernus is competitive only while the RAM footprint is small (its
+backup cost scales with the *used* RAM, not with what changed);
+task-boundary backups burn energy on checkpoints the energy supply
+never required — the paper's core critique of Figure 2b/2c systems.
+"""
+
+from repro.analysis import extension_taxonomy, format_matrix
+
+from conftest import run_once
+
+
+def test_extension_taxonomy(benchmark, settings, report):
+    results = run_once(benchmark, extension_taxonomy, settings)
+    report(
+        "extension_taxonomy",
+        format_matrix(
+            "Extension: total energy (uJ) across Figure 2's design space",
+            results,
+            value_format="{:8.1f}",
+        ),
+    )
+    nvmr = results["nvmr/jit (Fig 2d)"]["average"]
+    # NvMR beats backup-per-violation, task boundaries, and the
+    # original buffer-based design on average.
+    assert nvmr < results["clank/jit (Fig 2b)"]["average"]
+    assert nvmr < results["nvmr/task (Fig 2c)"]["average"]
+    assert nvmr < results["clank_original/jit"]["average"]

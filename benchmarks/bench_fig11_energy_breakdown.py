@@ -1,0 +1,40 @@
+"""Figure 11: normalised energy breakdown, Clank vs NvMR (JIT).
+
+Paper: per benchmark, two stacked bars normalised to Clank's total.
+Clank's backup component is large for violation-heavy benchmarks; NvMR
+replaces it with small forward/backup overheads (renaming traffic), a
+few % of total; stringsearch is dominated by forward progress (~90%)
+and has little to gain.
+"""
+
+from repro.analysis import fig11_energy_breakdown, format_breakdowns
+
+from conftest import run_once
+
+
+def test_fig11_energy_breakdown(benchmark, settings, report):
+    out = run_once(benchmark, fig11_energy_breakdown, settings)
+    report(
+        "fig11_energy_breakdown",
+        format_breakdowns(
+            "Figure 11: energy breakdown normalised to Clank's total",
+            out,
+        ),
+    )
+    for bench, per_arch in out.items():
+        clank_total = sum(per_arch["clank"].values())
+        nvmr_total = sum(per_arch["nvmr"].values())
+        assert abs(clank_total - 1.0) < 1e-9
+        # NvMR's renaming overhead must stay a small share of its total
+        # (paper: ~3%).
+        overhead = sum(
+            per_arch["nvmr"].get(cat, 0.0)
+            for cat in ("forward_overhead", "backup_overhead",
+                        "restore_overhead", "reclaim")
+        )
+        assert overhead / nvmr_total < 0.25, bench
+    # stringsearch: forward progress dominates (paper: ~90%).
+    stringsearch = out["stringsearch"]["clank"]
+    assert stringsearch["forward"] > 0.6
+    # qsort-like benchmarks: Clank spends a large share on backups.
+    assert out["qsort"]["clank"]["backup"] > out["stringsearch"]["clank"]["backup"]

@@ -1,0 +1,31 @@
+"""Section 6.5: NvMR's overheads.
+
+Paper: renaming+reclaiming energy ~3% of NvMR's total; 185x fewer
+backups on average; maximum per-location NVM write count reduced by
+80.8% vs Clank; map-table cache ~6% on-chip area overhead; reserved
+region ~6% of the 2 MB flash.
+"""
+
+from repro.analysis import format_mapping, overheads_study
+
+from conftest import run_once
+
+
+def test_overheads(benchmark, settings, report):
+    out = run_once(benchmark, overheads_study, settings)
+    report(
+        "overheads",
+        format_mapping(
+            "Section 6.5: NvMR overhead summary",
+            {k: f"{v:.2f}" for k, v in out.items()},
+        ),
+    )
+    # Wear: renaming spreads hot writes over the reserved region.
+    assert out["max_wear_reduction_percent"] > 20.0
+    # Backups drop by a large factor (paper: 185x; shape: >2x here).
+    assert out["backup_reduction_factor"] > 2.0
+    # Renaming energy stays a modest share of the total.
+    assert out["renaming_energy_share_percent"] < 25.0
+    # Area: ~6% MTC overhead; reserved region ~6% of flash (paper).
+    assert 3.0 < out["mtc_area_overhead_percent"] < 10.0
+    assert 2.0 < out["reserved_region_percent_of_flash"] < 8.0

@@ -1,0 +1,47 @@
+"""Shared infrastructure for the per-figure benchmark harnesses.
+
+Each ``bench_*.py`` regenerates one table/figure of the paper, prints
+the same rows/series the paper reports, and archives the rendered text
+under ``benchmarks/results/``.  By default the harness runs at a
+reduced averaging scale (documented in EXPERIMENTS.md); set
+``REPRO_FULL=1`` to reproduce the paper's full 10-trace averaging.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ExperimentSettings
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def settings():
+    chosen = ExperimentSettings.default()
+    if os.environ.get("REPRO_FULL", "") not in ("", "0"):
+        # Paper-scale averaging is hours of serial simulation; warm the
+        # shared run cache across worker processes first.
+        from repro.analysis.parallel import all_headline_jobs, prefetch_runs
+
+        fresh = prefetch_runs(all_headline_jobs(chosen))
+        print(f"\n[REPRO_FULL] prefetched {fresh} runs in parallel")
+    return chosen
+
+
+@pytest.fixture()
+def report():
+    """Print a rendered experiment table and archive it."""
+
+    def _report(name, text):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

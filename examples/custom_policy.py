@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Writing a custom backup policy.
+
+The paper's point is that NvMR *decouples* backups from program
+behaviour: with idempotency violations gone, any policy driven by
+operating conditions is correct.  This example implements a
+"hysteresis" policy — back up and sleep whenever the stored charge
+falls below a configurable fraction — and plugs it into the platform
+unchanged.  Correctness does not depend on the policy (the run is
+verified against the continuous reference); only energy does.
+
+Run:  python examples/custom_policy.py
+"""
+
+from repro.policies.base import BackupPolicy, PolicyAction
+from repro.sim.platform import PlatformConfig
+from repro.workloads import run_workload
+
+
+class HysteresisPolicy(BackupPolicy):
+    """Back up and shut down below a charge-fraction threshold.
+
+    A real deployment would set the threshold from the harvester's
+    characteristics; higher thresholds are safer but waste more of each
+    active period.
+    """
+
+    name = "hysteresis"
+
+    def __init__(self, threshold=0.25, check_interval=200):
+        self.threshold = threshold
+        self.check_interval = check_interval
+        self._since_check = 0
+
+    def on_period_start(self, platform, conditions):
+        self._since_check = 0
+
+    def after_step(self, platform, cycles):
+        self._since_check += cycles
+        if self._since_check < self.check_interval:
+            return PolicyAction.NONE
+        self._since_check = 0
+        # Floor the threshold at what the backup itself will cost right
+        # now — an aggressively low threshold must not strand the device
+        # below the price of its own checkpoint.
+        arch = platform.arch
+        needed = arch.estimate_backup_cost() + arch.worst_step_cost()
+        floor = needed / platform.capacitor.capacity
+        if platform.capacitor.fraction < max(self.threshold, floor):
+            return PolicyAction.SHUTDOWN
+        return PolicyAction.NONE
+
+
+def run(name, policy, label):
+    config = PlatformConfig(arch="nvmr", policy=policy)
+    result = run_workload(name, config=config)
+    print(
+        f"  {label:<24} E={result.total_energy / 1e3:8.1f} uJ   "
+        f"backups={result.backups:3d}  periods={result.active_periods:3d}  "
+        f"dead={result.energy_fraction('dead') * 100:4.1f}%"
+    )
+    return result
+
+
+def main():
+    name = "hist"
+    print(f"NvMR running {name!r} under different backup policies:\n")
+    results = [
+        run(name, "jit", "JIT oracle"),
+        run(name, HysteresisPolicy(threshold=0.35), "hysteresis @ 35%"),
+        run(name, HysteresisPolicy(threshold=0.15), "hysteresis @ 15%"),
+        run(name, "watchdog", "watchdog (8000 cycles)"),
+    ]
+    best = min(results, key=lambda r: r.total_energy)
+    print(
+        f"\nBest policy: {best.policy} — every run produced identical, "
+        "verified program outputs;\nthe policy changes only the energy bill. "
+        "That is the decoupling NvMR buys."
+    )
+
+
+if __name__ == "__main__":
+    main()

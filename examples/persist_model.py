@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The persist-dependency model in action (paper Section 3, Figures 1-4).
+
+Takes the paper's motivating program (Figure 1/2), derives the
+happens-before persist constraints with and without NVM renaming, and
+checks three persistence regimes against them:
+
+* eager in-place persistence   — violates idempotency (Figure 1's bug);
+* Clank-style persist-at-backup — correct, but forces atomic backups;
+* NvMR-style renamed eager persistence — correct with the minimal
+  constraint set (Figure 4).
+
+Run:  python examples/persist_model.py
+"""
+
+from repro.persist import (
+    PersistModel,
+    PersistScheduleChecker,
+    ScheduleViolation,
+    build_trace,
+)
+from repro.persist.checker import clank_schedule, eager_schedule, nvmr_schedule
+
+# Figure 2's toy program, with a backup mid-stream.
+PROGRAM = ["LD A", "ST B", "LD C", "ST A", "ST C", "BACKUP",
+           "ST A", "LD B", "ST B", "BACKUP"]
+
+
+def describe(model, label):
+    print(f"--- {label} ---")
+    for section, (start, end, _) in zip(model.dominance(), model.sections):
+        if start == end:
+            continue
+        doms = ", ".join(f"{a}:{d}" for a, d in sorted(section.items()))
+        print(f"  section events [{start}..{end}): {doms}")
+    by_rel = {}
+    for constraint in model.constraints():
+        by_rel.setdefault(constraint.relation.value, []).append(constraint)
+    for rel in sorted(by_rel):
+        print(f"  {rel:>5}: {len(by_rel[rel]):2d} edges")
+    atomic = model.atomic_groups()
+    if atomic:
+        print(f"  atomic-with-backup groups (Fig. 3a cycles): {atomic}")
+    else:
+        print("  no atomicity constraints (Fig. 4)")
+    print(f"  stores that must persist at all: {model.persist_required()}")
+    print()
+
+
+def try_regime(model, schedule_fn, label):
+    checker = PersistScheduleChecker(model)
+    schedule, atomic = schedule_fn(model)
+    try:
+        checker.check(schedule, atomic)
+        print(f"  {label:<34} OK")
+    except ScheduleViolation as exc:
+        print(f"  {label:<34} REJECTED: {exc}")
+
+
+def main():
+    print("program:", "  ".join(PROGRAM), "\n")
+
+    in_place = PersistModel(build_trace(*PROGRAM))
+    renamed = PersistModel(build_trace(*PROGRAM), renaming=True)
+    describe(in_place, "in-place persistence (Figure 3)")
+    describe(renamed, "with NVM renaming (Figure 4)")
+
+    print("checking persistence regimes against the in-place model:")
+    try_regime(in_place, eager_schedule, "eager write-through (Figure 1)")
+    try_regime(in_place, clank_schedule, "Clank: persist atomically at backup")
+    print("\nchecking against the renamed model:")
+    try_regime(renamed, nvmr_schedule, "NvMR: renamed eager persistence")
+
+    saved = len(in_place.constraints()) - len(renamed.constraints())
+    print(
+        f"\nrenaming removed {saved} of {len(in_place.constraints())} ordering "
+        "constraints and every atomicity cycle —\nthe backup schedule is now "
+        "free to follow energy conditions alone."
+    )
+
+
+if __name__ == "__main__":
+    main()

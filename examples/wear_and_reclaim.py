@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Flash wear levelling and map-table reclamation (paper Sections 4.8, 6.5).
+
+Two effects in one experiment:
+
+1. **Wear** — Clank persists hot blocks to the *same* flash locations on
+   every violation backup; NvMR's renaming rotates them through the
+   reserved region, cutting the maximum per-location write count
+   (paper: -80.8% on average).
+2. **Reclamation** — with a small map table, NvMR runs out of committed
+   mapping slots and must either back up on every further violation or
+   *reclaim* LRU mappings (copy the committed data home, free the slot).
+
+Run:  python examples/wear_and_reclaim.py
+"""
+
+from repro.workloads import run_workload
+
+
+def show(result, label):
+    print(
+        f"  {label:<28} E={result.total_energy / 1e3:8.1f} uJ  "
+        f"backups={result.backups:4d}  reclaims={result.reclaims:4d}  "
+        f"max wear={result.max_wear:4d} writes"
+    )
+    return result
+
+
+def main():
+    name = "qsort"
+    print(f"benchmark: {name!r}, JIT backup scheme, trace seed 0\n")
+
+    print("wear levelling (default 4096-entry map table):")
+    clank = show(run_workload(name, arch="clank", policy="jit"), "Clank")
+    nvmr = show(run_workload(name, arch="nvmr", policy="jit"), "NvMR")
+    reduction = 100.0 * (1.0 - nvmr.max_wear / clank.max_wear)
+    print(f"  -> max-wear reduction: {reduction:.1f}%  (paper: ~80%)\n")
+
+    print("reclamation (tiny 32-entry map table to force the issue):")
+    no_reclaim = show(
+        run_workload(name, arch="nvmr", policy="jit",
+                     map_table_entries=32, reclaim=False),
+        "NvMR, reclaim off",
+    )
+    with_reclaim = show(
+        run_workload(name, arch="nvmr", policy="jit",
+                     map_table_entries=32, reclaim=True),
+        "NvMR, reclaim on",
+    )
+    saved = 100.0 * (1.0 - with_reclaim.total_energy / no_reclaim.total_energy)
+    print(
+        f"  -> reclaiming avoids "
+        f"{no_reclaim.backups - with_reclaim.backups} structural backups "
+        f"and saves {saved:.1f}% energy"
+    )
+    print("\nall four runs verified against the continuous reference.")
+
+
+if __name__ == "__main__":
+    main()

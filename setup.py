@@ -1,0 +1,18 @@
+"""Setup shim for environments with older setuptools (offline installs).
+
+All metadata lives in pyproject.toml; this file exists so that legacy
+``pip install -e .`` (setup.py develop) works without the wheel package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro.workloads": ["sources/*.mc"]},
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+    python_requires=">=3.9",
+)

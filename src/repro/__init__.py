@@ -1,0 +1,67 @@
+"""repro — a full-system reproduction of *NvMR: Non-Volatile Memory
+Renaming for Intermittent Computing* (Bhattacharyya, Somashekhar and
+San Miguel, ISCA 2022).
+
+The package provides everything the paper's evaluation needs, built
+from scratch in Python:
+
+* a TinyRISC ISA, assembler and mini-C compiler (:mod:`repro.isa`,
+  :mod:`repro.asm`, :mod:`repro.minicc`);
+* the memory substrates — NVM flash, write-back cache, dominance bloom
+  filters, and NvMR's map table / map-table cache / free list
+  (:mod:`repro.mem`);
+* energy modelling — cost table, supercapacitor, synthetic harvest
+  traces, per-category accounting, area model (:mod:`repro.energy`);
+* four intermittent architectures — Ideal, Clank, NvMR, HOOP
+  (:mod:`repro.arch`);
+* three backup policies — JIT, watchdog, Spendthrift (:mod:`repro.policies`);
+* the platform run loop and continuous-power reference (:mod:`repro.sim`);
+* the paper's ten benchmarks (:mod:`repro.workloads`) and the
+  per-figure experiment drivers (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import run_benchmark
+
+    clank = run_benchmark("qsort", arch="clank", policy="jit")
+    nvmr = run_benchmark("qsort", arch="nvmr", policy="jit")
+    saved = 100 * (1 - nvmr.total_energy / clank.total_energy)
+    print(f"NvMR saves {saved:.1f}% energy on qsort")
+"""
+
+from repro.asm import assemble
+from repro.sim import Platform, PlatformConfig, RunResult, run_reference
+
+__version__ = "1.0.0"
+
+
+def compile_source(source, **kwargs):
+    """Compile mini-C source text into an executable Program."""
+    from repro.minicc import compile_minic
+
+    return compile_minic(source, **kwargs)
+
+
+def run_benchmark(name, arch="nvmr", policy="jit", trace_seed=0, **config_overrides):
+    """Run one of the paper's benchmarks on an intermittent platform.
+
+    Returns a :class:`~repro.sim.results.RunResult`; raises if the
+    intermittent run's outputs do not match the continuous reference.
+    """
+    from repro.workloads import run_workload
+
+    return run_workload(
+        name, arch=arch, policy=policy, trace_seed=trace_seed, **config_overrides
+    )
+
+
+__all__ = [
+    "Platform",
+    "PlatformConfig",
+    "RunResult",
+    "assemble",
+    "compile_source",
+    "run_benchmark",
+    "run_reference",
+    "__version__",
+]

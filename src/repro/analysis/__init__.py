@@ -1,0 +1,75 @@
+"""Experiment drivers and reporting for the paper's tables and figures.
+
+Each ``fig*``/``table*`` function in :mod:`repro.analysis.experiments`
+regenerates one result from the paper's evaluation (Section 6) and
+returns plain data structures; :mod:`repro.analysis.reporting` renders
+them as text tables like the ones in EXPERIMENTS.md.
+"""
+
+from repro.analysis.experiments import (
+    ExperimentSettings,
+    ablation_cache_size,
+    ablation_free_list_discipline,
+    ablation_gbf_bits,
+    cached_run,
+    extension_nvm_technology,
+    extension_taxonomy,
+    fig10_backup_schemes,
+    fig10_with_variance,
+    fig11_energy_breakdown,
+    fig12_hoop,
+    fig13a_mtc_size,
+    fig13b_mtc_assoc,
+    fig13c_map_table,
+    fig13d_capacitor,
+    fig14_reclaim,
+    footnote6_original_clank,
+    overheads_study,
+    table2_configuration,
+    table3_violations,
+    table4_hoop_configuration,
+)
+from repro.analysis.report import generate_report, write_report
+from repro.analysis.timeline import render_timeline
+from repro.analysis.wear import WearProfile, gini_coefficient, wear_comparison, wear_profile
+from repro.analysis.reporting import (
+    format_breakdowns,
+    format_mapping,
+    format_matrix,
+    format_series,
+)
+
+__all__ = [
+    "ExperimentSettings",
+    "ablation_cache_size",
+    "ablation_free_list_discipline",
+    "ablation_gbf_bits",
+    "cached_run",
+    "extension_nvm_technology",
+    "extension_taxonomy",
+    "fig10_backup_schemes",
+    "fig10_with_variance",
+    "fig11_energy_breakdown",
+    "fig12_hoop",
+    "fig13a_mtc_size",
+    "fig13b_mtc_assoc",
+    "fig13c_map_table",
+    "fig13d_capacitor",
+    "fig14_reclaim",
+    "format_breakdowns",
+    "format_mapping",
+    "format_matrix",
+    "format_series",
+    "footnote6_original_clank",
+    "generate_report",
+    "render_timeline",
+    "gini_coefficient",
+    "overheads_study",
+    "table2_configuration",
+    "table3_violations",
+    "table4_hoop_configuration",
+    "wear_comparison",
+    "write_report",
+    "wear_profile",
+    "WearProfile",
+]

@@ -1,0 +1,552 @@
+"""Drivers that regenerate every table and figure of the evaluation.
+
+Scale control
+-------------
+The paper averages every result over 10 voltage traces and all ten
+benchmarks.  A cycle-level Python simulator cannot afford that for
+every sweep point by default, so each driver takes an
+:class:`ExperimentSettings` whose defaults are a documented compromise
+(fewer traces for the sensitivity sweeps, a violation-heavy benchmark
+subset for the structure sweeps).  Set the environment variable
+``REPRO_FULL=1`` (or pass ``ExperimentSettings.full()``) to reproduce
+at the paper's full averaging scale.
+
+All drivers share a process-wide run cache: the Clank/JIT baseline, for
+instance, is reused across Figures 10, 13 and 14.
+"""
+
+import os
+from dataclasses import dataclass, field, replace
+
+from repro.energy.area import AreaModel
+from repro.energy.capacitor import CAPACITOR_PRESETS
+from repro.energy.traces import HarvestTrace
+from repro.sim.platform import PlatformConfig
+from repro.workloads import BENCHMARKS, run_workload
+
+ALL_BENCHMARKS = list(BENCHMARKS)
+
+#: Violation-heavy subset used for structure-sensitivity sweeps.
+SWEEP_BENCHMARKS = ["qsort", "dwt", "picojpeg", "blowfish"]
+
+
+def _full_mode():
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+@dataclass
+class ExperimentSettings:
+    """How much averaging each experiment does."""
+
+    traces: int = 2
+    sweep_traces: int = 1
+    benchmarks: list = field(default_factory=lambda: list(ALL_BENCHMARKS))
+    sweep_benchmarks: list = field(default_factory=lambda: list(SWEEP_BENCHMARKS))
+
+    @classmethod
+    def default(cls):
+        return cls.full() if _full_mode() else cls()
+
+    @classmethod
+    def full(cls):
+        """The paper's averaging scale: 10 traces, all benchmarks."""
+        return cls(
+            traces=10,
+            sweep_traces=3,
+            benchmarks=list(ALL_BENCHMARKS),
+            sweep_benchmarks=list(ALL_BENCHMARKS),
+        )
+
+    @classmethod
+    def smoke(cls):
+        """Minimal settings for CI smoke tests."""
+        return cls(traces=1, sweep_traces=1, benchmarks=["qsort", "hist"],
+                   sweep_benchmarks=["qsort"])
+
+
+# ---------------------------------------------------------------- cache
+_run_cache = {}
+
+
+def _config_key(config):
+    return (
+        config.arch,
+        config.policy,
+        config.nvm_technology,
+        config.capacitor,
+        config.capacitor_energy,
+        config.cache_size,
+        config.cache_assoc,
+        config.block_size,
+        config.gbf_bits,
+        config.mtc_entries,
+        config.mtc_assoc,
+        config.map_table_entries,
+        config.free_list_size,
+        config.free_list_mode,
+        config.reclaim,
+        config.oop_buffer_entries,
+        config.oop_region_slots,
+        config.watchdog_period,
+    )
+
+
+def cached_run(benchmark, config, trace_seed):
+    """Run (or fetch) one benchmark/config/trace combination."""
+    key = (benchmark, _config_key(config), trace_seed)
+    if key not in _run_cache:
+        _run_cache[key] = run_workload(
+            benchmark,
+            config=replace(config),
+            trace=HarvestTrace(trace_seed),
+        )
+    return _run_cache[key]
+
+
+def clear_run_cache():
+    _run_cache.clear()
+
+
+def _mean(values):
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def _avg_energy(benchmark, config, trace_seeds):
+    return _mean(
+        cached_run(benchmark, config, seed).total_energy for seed in trace_seeds
+    )
+
+
+def _saving_percent(baseline_energy, candidate_energy):
+    if baseline_energy == 0:
+        return 0.0
+    return 100.0 * (1.0 - candidate_energy / baseline_energy)
+
+
+# ----------------------------------------------------------- Table 2/4
+def table2_configuration():
+    """The evaluated system configuration (paper Table 2)."""
+    config = PlatformConfig()
+    return {
+        "Processor": "TinyRISC (Thumb-class), 3-stage in-order, 8 MHz model",
+        "Data Cache": (
+            f"{config.cache_size}B, {config.cache_assoc}-way, "
+            f"{config.block_size}B block, LRU, 1 cycle hit latency"
+        ),
+        "GBF": f"{config.gbf_bits} one-bit entries",
+        "LBF": f"{config.block_size // 4} two-bit entries per cache line",
+        "Map Table Cache": f"{config.mtc_entries} entries, {config.mtc_assoc}-way, LRU",
+        "Map Table": f"{config.map_table_entries} entries, LRU",
+        "Free List": (
+            f"{config.map_table_entries} + {config.mtc_entries} + 1 = "
+            f"{config.map_table_entries + config.mtc_entries + 1} mappings"
+        ),
+        "Flash": "2MB",
+        "Supercapacitor": "100mF preset (scaled energy model), 2.4V max voltage",
+    }
+
+
+def table4_hoop_configuration():
+    """The simplified HOOP configuration (paper Table 4)."""
+    config = PlatformConfig(arch="hoop")
+    return {
+        "Mapping Table": "Infinite (idealised: no energy or area overhead)",
+        "OOP Buffer": (
+            f"{config.oop_buffer_entries} word entries (volatile; paper: 128, "
+            "scaled with the 4x-smaller working sets)"
+        ),
+        "OOP Region": (
+            f"{config.oop_region_slots} word slots (NVM; paper: 2048, scaled)"
+        ),
+    }
+
+
+# ------------------------------------------------------------- Table 3
+def table3_violations(settings=None):
+    """Idempotency violations per benchmark on the ideal architecture
+    under the JIT scheme (paper Table 3)."""
+    settings = settings or ExperimentSettings.default()
+    out = {}
+    config = PlatformConfig(arch="ideal", policy="jit")
+    for bench in settings.benchmarks:
+        counts = [
+            cached_run(bench, config, seed).violations
+            for seed in range(settings.traces)
+        ]
+        out[bench] = _mean(counts)
+    return out
+
+
+# ------------------------------------------------------------ Figure 10
+def fig10_backup_schemes(settings=None, policies=("jit", "spendthrift", "watchdog")):
+    """% energy saved by NvMR vs Clank per backup scheme (paper Fig. 10)."""
+    settings = settings or ExperimentSettings.default()
+    seeds = range(settings.traces)
+    results = {}
+    for policy in policies:
+        row = {}
+        for bench in settings.benchmarks:
+            clank = _avg_energy(bench, PlatformConfig(arch="clank", policy=policy), seeds)
+            nvmr = _avg_energy(bench, PlatformConfig(arch="nvmr", policy=policy), seeds)
+            row[bench] = _saving_percent(clank, nvmr)
+        row["average"] = _mean(row.values())
+        results[policy] = row
+    return results
+
+
+# ------------------------------------------------------------ Figure 11
+def fig11_energy_breakdown(settings=None):
+    """Normalised energy breakdown of Clank vs NvMR under JIT (Fig. 11).
+
+    Returns ``{bench: {"clank": {...}, "nvmr": {...}}}`` where each inner
+    dict maps energy category -> fraction of *Clank's* total (so NvMR
+    bars sum to less than 1.0 when it saves energy, as in the paper).
+    """
+    settings = settings or ExperimentSettings.default()
+    seeds = range(settings.traces)
+    out = {}
+    for bench in settings.benchmarks:
+        per_arch = {}
+        clank_total = None
+        for arch in ("clank", "nvmr"):
+            config = PlatformConfig(arch=arch, policy="jit")
+            sums = {}
+            for seed in seeds:
+                result = cached_run(bench, config, seed)
+                for cat, value in result.breakdown.as_dict().items():
+                    sums[cat] = sums.get(cat, 0.0) + value / settings.traces
+            per_arch[arch] = sums
+            if arch == "clank":
+                clank_total = sum(sums.values())
+        for arch in per_arch:
+            per_arch[arch] = {
+                cat: (value / clank_total if clank_total else 0.0)
+                for cat, value in per_arch[arch].items()
+            }
+        out[bench] = per_arch
+    return out
+
+
+# ------------------------------------------------------------ Figure 12
+def fig12_hoop(settings=None, policies=("jit", "watchdog")):
+    """% energy saved by NvMR vs HOOP (paper Fig. 12)."""
+    settings = settings or ExperimentSettings.default()
+    seeds = range(settings.traces)
+    results = {}
+    for policy in policies:
+        row = {}
+        for bench in settings.benchmarks:
+            hoop = _avg_energy(bench, PlatformConfig(arch="hoop", policy=policy), seeds)
+            nvmr = _avg_energy(bench, PlatformConfig(arch="nvmr", policy=policy), seeds)
+            row[bench] = _saving_percent(hoop, nvmr)
+        row["average"] = _mean(row.values())
+        results[policy] = row
+    return results
+
+
+# --------------------------------------------------------- Figure 13a-d
+def _sweep_saving(settings, nvmr_overrides, clank_overrides=None):
+    """Average % saving of an NvMR variant vs Clank over the sweep set."""
+    seeds = range(settings.sweep_traces)
+    savings = []
+    for bench in settings.sweep_benchmarks:
+        clank = _avg_energy(
+            bench, PlatformConfig(arch="clank", policy="jit", **(clank_overrides or {})), seeds
+        )
+        nvmr = _avg_energy(
+            bench, PlatformConfig(arch="nvmr", policy="jit", **nvmr_overrides), seeds
+        )
+        savings.append(_saving_percent(clank, nvmr))
+    return _mean(savings)
+
+
+def fig13a_mtc_size(settings=None, sizes=(32, 64, 128, 256, 512, 1024)):
+    """Energy saved vs map-table-cache entries, associativity 2 (Fig. 13a)."""
+    settings = settings or ExperimentSettings.default()
+    return {
+        size: _sweep_saving(settings, dict(mtc_entries=size, mtc_assoc=2))
+        for size in sizes
+    }
+
+
+def fig13b_mtc_assoc(settings=None, assocs=(1, 2, 4, 8, 16, 32)):
+    """Energy saved vs MTC associativity with 32 entries (Fig. 13b).
+
+    Associativity 32 with 32 entries is fully associative — the paper's
+    '0' point."""
+    settings = settings or ExperimentSettings.default()
+    return {
+        assoc: _sweep_saving(settings, dict(mtc_entries=32, mtc_assoc=assoc))
+        for assoc in assocs
+    }
+
+
+def fig13c_map_table(settings=None, sizes=(1024, 2048, 4096, 8192)):
+    """Energy saved vs map-table entries (Fig. 13c)."""
+    settings = settings or ExperimentSettings.default()
+    return {
+        size: _sweep_saving(settings, dict(map_table_entries=size))
+        for size in sizes
+    }
+
+
+def fig13d_capacitor(settings=None, presets=("500uF", "7.5mF", "100mF")):
+    """Energy saved vs supercapacitor size (Fig. 13d)."""
+    settings = settings or ExperimentSettings.default()
+    out = {}
+    for preset in presets:
+        out[preset] = _sweep_saving(
+            settings, dict(capacitor=preset), clank_overrides=dict(capacitor=preset)
+        )
+    return out
+
+
+# ------------------------------------------------------------ Figure 14
+def fig14_reclaim(settings=None, map_table_entries=4096):
+    """Energy saved (vs Clank) with and without reclaiming (Fig. 14)."""
+    settings = settings or ExperimentSettings.default()
+    seeds = range(settings.sweep_traces)
+    out = {}
+    for bench in settings.benchmarks:
+        clank = _avg_energy(bench, PlatformConfig(arch="clank", policy="jit"), seeds)
+        with_reclaim = _avg_energy(
+            bench,
+            PlatformConfig(
+                arch="nvmr", policy="jit",
+                map_table_entries=map_table_entries, reclaim=True,
+            ),
+            seeds,
+        )
+        without = _avg_energy(
+            bench,
+            PlatformConfig(
+                arch="nvmr", policy="jit",
+                map_table_entries=map_table_entries, reclaim=False,
+            ),
+            seeds,
+        )
+        out[bench] = {
+            "reclaim": _saving_percent(clank, with_reclaim),
+            "no_reclaim": _saving_percent(clank, without),
+        }
+    out["average"] = {
+        "reclaim": _mean(v["reclaim"] for k, v in out.items() if k != "average"),
+        "no_reclaim": _mean(v["no_reclaim"] for k, v in out.items() if k != "average"),
+    }
+    return out
+
+
+# ---------------------------------------------------------- Section 6.5
+def overheads_study(settings=None):
+    """NvMR's overheads (paper Section 6.5): NVM wear reduction, backup
+    count reduction, renaming energy share, on-chip area and reserved
+    region footprint."""
+    settings = settings or ExperimentSettings.default()
+    seeds = range(settings.traces)
+    wear_reductions = []
+    backup_ratios = []
+    overhead_shares = []
+    for bench in settings.benchmarks:
+        for seed in seeds:
+            clank = cached_run(bench, PlatformConfig(arch="clank", policy="jit"), seed)
+            nvmr = cached_run(bench, PlatformConfig(arch="nvmr", policy="jit"), seed)
+            if clank.max_wear:
+                wear_reductions.append(
+                    100.0 * (1.0 - nvmr.max_wear / clank.max_wear)
+                )
+            if nvmr.backups:
+                backup_ratios.append(clank.backups / nvmr.backups)
+            total = nvmr.total_energy
+            if total:
+                overhead = (
+                    nvmr.breakdown.forward_overhead
+                    + nvmr.breakdown.backup_overhead
+                    + nvmr.breakdown.restore_overhead
+                    + nvmr.breakdown.reclaim
+                )
+                overhead_shares.append(100.0 * overhead / total)
+    config = PlatformConfig()
+    area = AreaModel()
+    free_list = config.map_table_entries + config.mtc_entries + 1
+    reserved_bytes = free_list * config.block_size
+    return {
+        "max_wear_reduction_percent": _mean(wear_reductions),
+        "backup_reduction_factor": _mean(backup_ratios),
+        "renaming_energy_share_percent": _mean(overhead_shares),
+        "mtc_area_overhead_percent": area.mtc_overhead_percent(
+            mtc_entries=config.mtc_entries
+        ),
+        "reserved_region_percent_of_flash": 100.0 * reserved_bytes / 0x0020_0000,
+    }
+
+
+# ------------------------------------------------------- Footnote 6
+def footnote6_original_clank(settings=None):
+    """The paper's version of Clank vs original Clank (footnote 6).
+
+    Returns ``{bench: % energy the cached version saves}``.  The paper
+    reports 11% at GCC-optimised-binary scale; our -O0-style codegen
+    keeps loop variables in memory, which store-time violation
+    detection punishes far harder (see the clank_original module
+    docstring), so the measured magnitudes are much larger — the
+    *direction* is the reproduced claim.
+    """
+    settings = settings or ExperimentSettings.default()
+    seeds = range(settings.sweep_traces)
+    out = {}
+    for bench in settings.sweep_benchmarks:
+        original = _avg_energy(
+            bench, PlatformConfig(arch="clank_original", policy="jit"), seeds
+        )
+        cached = _avg_energy(bench, PlatformConfig(arch="clank", policy="jit"), seeds)
+        out[bench] = _saving_percent(original, cached)
+    out["average"] = _mean(out.values())
+    return out
+
+
+# -------------------------------------------------------- Ablations
+def ablation_gbf_bits(settings=None, bits=(2, 4, 8, 16, 64)):
+    """Design-choice ablation: GBF size (Table 2 fixes 8 one-bit entries).
+
+    A smaller GBF aliases more, conservatively classifying more evicted
+    blocks as read-dominated — extra renames for NvMR (and extra
+    backups for Clank).  Returns ``{bits: avg NvMR saving vs Clank}``
+    with both architectures using the same GBF size.
+    """
+    settings = settings or ExperimentSettings.default()
+    return {
+        b: _sweep_saving(
+            settings, dict(gbf_bits=b), clank_overrides=dict(gbf_bits=b)
+        )
+        for b in bits
+    }
+
+
+def ablation_cache_size(settings=None, sizes=(128, 256, 512)):
+    """Design-choice ablation: data-cache size (Table 2 fixes 256 B).
+
+    Returns ``{size: avg NvMR saving vs Clank}`` with both
+    architectures using the same cache."""
+    settings = settings or ExperimentSettings.default()
+    return {
+        size: _sweep_saving(
+            settings, dict(cache_size=size), clank_overrides=dict(cache_size=size)
+        )
+        for size in sizes
+    }
+
+
+def extension_nvm_technology(settings=None, technologies=("flash", "fram")):
+    """Extension study (paper footnote 8): NvMR's savings by NVM
+    technology.
+
+    With FRAM, NVM writes cost roughly as little as reads, so backups —
+    the thing NvMR's renaming avoids — are cheap; the expected shape is
+    a much smaller NvMR-vs-Clank saving than under flash.  Returns
+    ``{technology: avg % saving}`` over the sweep benchmarks.
+    """
+    settings = settings or ExperimentSettings.default()
+    return {
+        tech: _sweep_saving(
+            settings,
+            dict(nvm_technology=tech),
+            clank_overrides=dict(nvm_technology=tech),
+        )
+        for tech in technologies
+    }
+
+
+def extension_taxonomy(settings=None, benchmarks=None):
+    """Extension study: Figure 2's full design-space taxonomy.
+
+    Total energy of every combination the paper's background discusses:
+
+    * Hibernus-style snapshot-everything (Figure 2a) under JIT;
+    * Clank, backup-per-violation (Figure 2b) under JIT;
+    * task-boundary backups (Figure 2c) on NvMR hardware;
+    * NvMR + JIT (Figure 2d);
+    * plus HOOP (redo logging) and original buffer-based Clank.
+
+    Returns ``{scheme_label: {bench: total energy in uJ}}``.
+    """
+    settings = settings or ExperimentSettings.default()
+    benchmarks = benchmarks or settings.sweep_benchmarks
+    seeds = range(settings.sweep_traces)
+    schemes = {
+        "hibernus/jit (Fig 2a)": PlatformConfig(arch="hibernus", policy="jit"),
+        "clank/jit (Fig 2b)": PlatformConfig(arch="clank", policy="jit"),
+        "nvmr/task (Fig 2c)": PlatformConfig(arch="nvmr", policy="task"),
+        "nvmr/jit (Fig 2d)": PlatformConfig(arch="nvmr", policy="jit"),
+        "hoop/jit": PlatformConfig(arch="hoop", policy="jit"),
+        "clank_original/jit": PlatformConfig(arch="clank_original", policy="jit"),
+    }
+    out = {}
+    for label, config in schemes.items():
+        out[label] = {
+            bench: _avg_energy(bench, config, seeds) / 1e3 for bench in benchmarks
+        }
+        out[label]["average"] = _mean(out[label].values())
+    return out
+
+
+def ablation_free_list_discipline(settings=None, benchmarks=None):
+    """Design-choice ablation: why the free list is a *queue*.
+
+    FIFO round-robins renamed blocks through the reserved region,
+    wear-levelling it; a LIFO free list would reuse the most recently
+    freed mapping, concentrating writes.  Returns per-discipline
+    reserved-region max wear and total energy (energy is essentially
+    unchanged — the discipline is purely an endurance decision).
+    """
+    from repro.energy.traces import HarvestTrace
+    from repro.sim.platform import Platform
+    from repro.workloads import load_program
+
+    settings = settings or ExperimentSettings.default()
+    benchmarks = benchmarks or settings.sweep_benchmarks
+    out = {}
+    for mode in ("fifo", "lifo"):
+        wears = []
+        energies = []
+        for bench in benchmarks:
+            program = load_program(bench)
+            config = PlatformConfig(
+                arch="nvmr", policy="jit", free_list_mode=mode, reclaim=False
+            )
+            platform = Platform(
+                program, config, trace=HarvestTrace(0), benchmark_name=bench
+            )
+            result = platform.run()
+            reserved_base = program.layout.reserved_base
+            reserved_wear = [
+                count
+                for addr, count in platform.nvm.write_counts.items()
+                if addr >= reserved_base
+            ]
+            wears.append(max(reserved_wear, default=0))
+            energies.append(result.total_energy)
+        out[mode] = {
+            "max_reserved_wear": _mean(wears),
+            "total_energy_uj": _mean(energies) / 1e3,
+        }
+    return out
+
+
+def fig10_with_variance(settings=None, policy="jit"):
+    """Figure 10 with per-benchmark mean and standard deviation over
+    traces (the paper plots trace-averaged bars; this quantifies how
+    much the synthetic traces move the result)."""
+    settings = settings or ExperimentSettings.default()
+    seeds = list(range(max(settings.traces, 2)))
+    out = {}
+    for bench in settings.benchmarks:
+        savings = []
+        for seed in seeds:
+            clank = cached_run(bench, PlatformConfig(arch="clank", policy=policy), seed)
+            nvmr = cached_run(bench, PlatformConfig(arch="nvmr", policy=policy), seed)
+            savings.append(_saving_percent(clank.total_energy, nvmr.total_energy))
+        mean = _mean(savings)
+        variance = _mean([(s - mean) ** 2 for s in savings])
+        out[bench] = {"mean": mean, "std": variance**0.5}
+    return out

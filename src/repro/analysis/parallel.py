@@ -1,0 +1,96 @@
+"""Process-parallel experiment execution.
+
+The experiment drivers are serial (they share an in-process run cache).
+For paper-scale averaging (``REPRO_FULL=1``: 10 traces x 10 benchmarks
+x several configurations) that is hours of single-core simulation, so
+this module pre-computes run results across worker processes and seeds
+the cache; the drivers then find every run already cached.
+
+Usage::
+
+    from repro.analysis.parallel import prefetch_runs, fig10_jobs
+
+    prefetch_runs(fig10_jobs(settings), workers=8)
+    results = fig10_backup_schemes(settings)   # all cache hits
+
+Workers each pay a one-time benchmark-compilation cost (~10 s); jobs
+are deterministic, so parallel and serial results are identical.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+
+from repro.analysis import experiments as exp
+from repro.sim.platform import PlatformConfig
+
+
+def _execute(job):
+    """Worker entry point: run one (benchmark, config, seed) job."""
+    benchmark, config, seed = job
+    from repro.energy.traces import HarvestTrace
+    from repro.workloads import run_workload
+
+    result = run_workload(benchmark, config=replace(config), trace=HarvestTrace(seed))
+    return job, result
+
+
+def prefetch_runs(jobs, workers=None):
+    """Run ``jobs`` (iterable of (benchmark, config, seed)) in parallel
+    and seed the shared run cache.  Returns the number of fresh runs."""
+    pending = []
+    for benchmark, config, seed in jobs:
+        key = (benchmark, exp._config_key(config), seed)
+        if key not in exp._run_cache:
+            pending.append((benchmark, config, seed))
+    if not pending:
+        return 0
+    workers = workers or min(os.cpu_count() or 1, 8)
+    if workers <= 1 or len(pending) == 1:
+        for job in pending:
+            (benchmark, config, seed), result = _execute(job)
+            exp._run_cache[(benchmark, exp._config_key(config), seed)] = result
+        return len(pending)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for (benchmark, config, seed), result in pool.map(_execute, pending):
+            exp._run_cache[(benchmark, exp._config_key(config), seed)] = result
+    return len(pending)
+
+
+# ------------------------------------------------------------ job sets
+def fig10_jobs(settings=None, policies=("jit", "spendthrift", "watchdog")):
+    """Every run Figure 10 (and by reuse Figure 11) needs."""
+    settings = settings or exp.ExperimentSettings.default()
+    jobs = []
+    for policy in policies:
+        for bench in settings.benchmarks:
+            for seed in range(settings.traces):
+                for arch in ("clank", "nvmr"):
+                    jobs.append((bench, PlatformConfig(arch=arch, policy=policy), seed))
+    return jobs
+
+
+def fig12_jobs(settings=None, policies=("jit", "watchdog")):
+    settings = settings or exp.ExperimentSettings.default()
+    jobs = []
+    for policy in policies:
+        for bench in settings.benchmarks:
+            for seed in range(settings.traces):
+                for arch in ("hoop", "nvmr"):
+                    jobs.append((bench, PlatformConfig(arch=arch, policy=policy), seed))
+    return jobs
+
+
+def table3_jobs(settings=None):
+    settings = settings or exp.ExperimentSettings.default()
+    return [
+        (bench, PlatformConfig(arch="ideal", policy="jit"), seed)
+        for bench in settings.benchmarks
+        for seed in range(settings.traces)
+    ]
+
+
+def all_headline_jobs(settings=None):
+    """The union of every headline experiment's runs."""
+    settings = settings or exp.ExperimentSettings.default()
+    return fig10_jobs(settings) + fig12_jobs(settings) + table3_jobs(settings)

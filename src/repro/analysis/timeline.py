@@ -1,0 +1,73 @@
+"""ASCII run timelines — see an intermittent execution at a glance.
+
+Renders a :class:`~repro.sim.platform.Platform`'s recorded event stream
+(periods, backups by reason, power failures, graceful shutdowns) as an
+annotated timeline, e.g.::
+
+    period   1 (budget 0.89) |~~B~~~~~~~~B~~~~~~~~B~~~~|X
+    period   2 (budget 0.71) |~~B~~~~~~~~B~~~V~~~~~|Z
+
+    B policy backup  V violation backup  S structural backup
+    X power failure  Z graceful shutdown
+"""
+
+_MARKS = {
+    "policy": "B",
+    "violation": "V",
+    "structural": "S",
+    "initial": "b",
+    "final": "F",
+}
+
+
+def render_timeline(platform, width=64):
+    """Render the platform's event stream, one line per active period."""
+    events = platform.events
+    if not events:
+        return "(no events recorded)"
+
+    lines = []
+    state = {
+        "index": 0,
+        "start": 0,
+        "budget": 0.0,
+        "marks": [],
+        "open": False,
+    }
+
+    def flush(end_cycle, terminator):
+        if not state["open"]:
+            return
+        span = max(end_cycle - state["start"], 1)
+        row = ["~"] * width
+        for cycle, char in state["marks"]:
+            position = int((cycle - state["start"]) / span * (width - 1))
+            row[min(max(position, 0), width - 1)] = char
+        lines.append(
+            f"period {state['index']:3d} (budget {state['budget']:.2f}) "
+            f"|{''.join(row)}|{terminator}"
+        )
+        state["marks"] = []
+        state["open"] = False
+
+    last_cycle = events[-1][0]
+    for cycle, kind, detail in events:
+        if kind == "period":
+            flush(cycle, "?")
+            state["index"] += 1
+            state["start"] = cycle
+            state["budget"] = detail
+            state["open"] = True
+        elif kind == "backup":
+            state["marks"].append((cycle, _MARKS.get(detail, "B")))
+        elif kind == "failure":
+            flush(cycle, "X")
+        elif kind == "shutdown":
+            flush(cycle, "Z")
+    flush(last_cycle + 1, ".")
+    legend = (
+        "\nb initial backup  B policy backup  V violation backup  "
+        "S structural backup  F final backup\n"
+        "X power failure   Z graceful shutdown   . run completed"
+    )
+    return "\n".join(lines) + legend

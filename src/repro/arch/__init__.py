@@ -1,0 +1,64 @@
+"""Intermittent architectures.
+
+Four architectures share the platform's CPU, NVM, energy and policy
+machinery and differ in how they keep NVM consistent across power
+failures:
+
+* :class:`~repro.arch.ideal.IdealArchitecture` — a measurement device:
+  persists dirty evictions in place and *counts* idempotency violations
+  without acting on them (used for Table 3).
+* :class:`~repro.arch.clank.ClankArchitecture` — the paper's version of
+  Clank [16]: detects read-dominated dirty evictions with the GBF/LBF
+  and triggers a backup on every such violation.
+* :class:`~repro.arch.nvmr.NvmrArchitecture` — the paper's contribution:
+  renames violating blocks into a reserved NVM region via a map table,
+  map-table cache and free list; optional reclamation.
+* :class:`~repro.arch.hoop.HoopArchitecture` — the transaction-based
+  comparison point [6]: out-of-place redo logging with an OOP buffer,
+  OOP region and an idealised mapping table.
+* :class:`~repro.arch.clank_original.OriginalClankArchitecture` —
+  Hicks' original buffer-based Clank (paper footnote 6's comparison).
+"""
+
+from repro.arch.base import ArchStats, BackupReason, IntermittentArchitecture
+from repro.arch.clank import ClankArchitecture
+from repro.arch.clank_original import OriginalClankArchitecture
+from repro.arch.hibernus import HibernusArchitecture
+from repro.arch.hoop import HoopArchitecture
+from repro.arch.ideal import IdealArchitecture
+from repro.arch.nvmr import NvmrArchitecture
+
+ARCHITECTURES = {
+    "ideal": IdealArchitecture,
+    "clank": ClankArchitecture,
+    "clank_original": OriginalClankArchitecture,
+    "hibernus": HibernusArchitecture,
+    "nvmr": NvmrArchitecture,
+    "hoop": HoopArchitecture,
+}
+
+
+def make_architecture(name, *args, **kwargs):
+    """Instantiate an architecture by registry name."""
+    try:
+        cls = ARCHITECTURES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown architecture {name!r}; options: {sorted(ARCHITECTURES)}"
+        ) from None
+    return cls(*args, **kwargs)
+
+
+__all__ = [
+    "ARCHITECTURES",
+    "ArchStats",
+    "BackupReason",
+    "ClankArchitecture",
+    "HibernusArchitecture",
+    "HoopArchitecture",
+    "OriginalClankArchitecture",
+    "IdealArchitecture",
+    "IntermittentArchitecture",
+    "NvmrArchitecture",
+    "make_architecture",
+]

@@ -1,0 +1,240 @@
+"""Base classes shared by the intermittent architectures.
+
+:class:`IntermittentArchitecture` defines the lifecycle every
+architecture implements (load/store, backup, power failure, restore) and
+owns the common counters.  :class:`CachedArchitecture` adds the shared
+write-back data cache plus GBF/LBF dominance tracking used by Ideal,
+Clank and NvMR (the paper gives its version of Clank the same GBF/LBF
+and cache as NvMR so the comparison isolates renaming).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.cpu.core import MemorySystem
+from repro.cpu.state import Checkpoint
+from repro.mem.bloom import GlobalBloomFilter, LocalBloomFilter
+from repro.mem.cache import WriteBackCache
+
+
+class BackupReason:
+    """Why a backup was invoked (the paper's three occasions + lifecycle)."""
+
+    POLICY = "policy"  # the backup policy asked (JIT / watchdog / NN)
+    VIOLATION = "violation"  # Clank: idempotency violation detected
+    STRUCTURAL = "structural"  # NvMR: map table full / free list empty / MTC dirty evict
+    FINAL = "final"  # program completed; flush outputs
+    INITIAL = "initial"  # first checkpoint before execution starts
+
+    ALL = (POLICY, VIOLATION, STRUCTURAL, FINAL, INITIAL)
+
+
+@dataclass
+class ArchStats:
+    """Event counters reported by every architecture."""
+
+    backups: int = 0
+    backups_by_reason: dict = field(default_factory=dict)
+    restores: int = 0
+    violations: int = 0
+    renames: int = 0
+    reclaims: int = 0
+    loads: int = 0
+    stores: int = 0
+
+    def count_backup(self, reason):
+        self.backups += 1
+        self.backups_by_reason[reason] = self.backups_by_reason.get(reason, 0) + 1
+
+
+class IntermittentArchitecture(MemorySystem):
+    """Common lifecycle for all intermittent architectures.
+
+    Subclasses implement the :class:`~repro.cpu.core.MemorySystem`
+    interface (``load``/``store``), backups, and volatile-state wipes.
+    The platform wires in the NVM, the energy ledger/model and (later)
+    the core via :meth:`attach_core`.
+    """
+
+    name = "base"
+
+    def __init__(self, nvm, ledger, energy, layout):
+        self.nvm = nvm
+        self.ledger = ledger
+        self.energy = energy
+        self.layout = layout
+        self.core = None
+        self.stats = ArchStats()
+
+    def attach_core(self, core):
+        self.core = core
+
+    # ----------------------------------------------------------- energy
+    def charge(self, category, amount):
+        self.ledger.charge(category, amount)
+
+    # -------------------------------------------------------- lifecycle
+    def backup(self, reason):  # pragma: no cover - interface
+        """Atomically persist a checkpoint (registers + dirty data)."""
+        raise NotImplementedError
+
+    def estimate_backup_cost(self):  # pragma: no cover - interface
+        """Exact energy a backup invoked right now would cost."""
+        raise NotImplementedError
+
+    def worst_step_cost(self):
+        """Upper bound on the energy one instruction can consume.
+
+        The JIT policy subtracts this from the remaining charge so that
+        a backup is always affordable when triggered between steps.
+        """
+        words = 4
+        return (
+            6 * self.energy.block_write(words)
+            + 4 * self.energy.block_read(words)
+            + 20 * self.energy.nvm_read_word
+            + 10.0
+        )
+
+    def on_power_failure(self):  # pragma: no cover - interface
+        """Wipe volatile state (cache, filters, SRAM tables)."""
+        raise NotImplementedError
+
+    def restore(self):
+        """Reload processor state from the committed checkpoint."""
+        payload = self.nvm.committed_checkpoint()
+        if payload is None:
+            raise RuntimeError("restore with no committed checkpoint")
+        self.charge(
+            "restore",
+            Checkpoint.WORDS * self.energy.nvm_read_word + self.energy.restore_fixed,
+        )
+        self.core.rf.restore(payload["checkpoint"])
+        self.core.halted = payload.get("halted", False)
+        self.stats.restores += 1
+
+    def snapshot_payload(self):
+        """The checkpoint payload: registers + PC + flags (+ halted flag)."""
+        return {"checkpoint": self.core.rf.snapshot(), "halted": self.core.halted}
+
+    def debug_read_word(self, addr):
+        """The *committed* (post-power-loss) value of a program address.
+
+        Resolves whatever indirection the architecture maintains (NvMR's
+        map table, HOOP's redo log).  Harness/test use only; charges no
+        energy and counts no accesses.
+        """
+        return self.nvm.peek_word(addr)
+
+
+class CachedArchitecture(IntermittentArchitecture):
+    """Adds the WBWA data cache and GBF/LBF dominance tracking.
+
+    Subclasses override :meth:`_handle_dirty_eviction` (which must leave
+    the line clean — by persisting it or by triggering a backup) and
+    :meth:`_fetch_block` (where block data comes from on a miss).
+    """
+
+    def __init__(
+        self,
+        nvm,
+        ledger,
+        energy,
+        layout,
+        cache_size=256,
+        cache_assoc=8,
+        block_size=16,
+        gbf_bits=8,
+    ):
+        super().__init__(nvm, ledger, energy, layout)
+        self.cache = WriteBackCache(cache_size, cache_assoc, block_size)
+        self.gbf = GlobalBloomFilter(gbf_bits)
+        self.words_per_block = self.cache.words_per_block
+
+    # ------------------------------------------------------ leak energy
+    def leakage_per_cycle(self):
+        return self.energy.cache_leak_cycle
+
+    # ------------------------------------------------------ miss path
+    def _fetch_block(self, block_addr):  # pragma: no cover - interface
+        """Return ``bytes`` for the block and charge the fetch energy."""
+        raise NotImplementedError
+
+    def _handle_dirty_eviction(self, line):  # pragma: no cover - interface
+        """Persist (or rename, or back up) a dirty line; leave it clean."""
+        raise NotImplementedError
+
+    def _miss(self, block_addr):
+        """Service a miss: resolve the victim, then fill a line."""
+        victim = self.cache.peek_victim(block_addr)
+        if victim is not None and victim.valid:
+            if victim.dirty:
+                self._handle_dirty_eviction(victim)
+            if victim.valid:
+                # Log dominance of the outgoing block so a refetch within
+                # this section remembers it (GBF).
+                composite = victim.meta.composite if victim.meta else 0
+                self.charge("forward", self.energy.bloom_access)
+                self.gbf.log_eviction(victim.block_addr, composite)
+        line, evicted = self.cache.allocate(block_addr)
+        assert evicted is None or not evicted.dirty, "victim must be clean"
+        data = self._fetch_block(block_addr)
+        line.data[:] = data
+        lbf = LocalBloomFilter(self.words_per_block)
+        self.charge("forward", self.energy.bloom_access)
+        if self.gbf.was_read_dominated(block_addr):
+            # Conservative: the block was read-dominated when evicted
+            # earlier in this section.
+            lbf.mark_all_read()
+        line.meta = lbf
+        return line
+
+    # ------------------------------------------------------- load/store
+    def load(self, addr, size):
+        self.stats.loads += 1
+        cache = self.cache
+        block_addr = cache.block_address(addr)
+        self.charge("forward", self.energy.cache_access)
+        line = cache.lookup(block_addr)
+        cycles = 1
+        if line is None:
+            line = self._miss(block_addr)
+            cycles += self.miss_cycles()
+        line.meta.on_read(cache.word_index(addr))
+        self.charge("forward", self.energy.bloom_access)
+        if size == 4:
+            return cache.read_word(line, addr), cycles
+        return cache.read_byte(line, addr), cycles
+
+    def store(self, addr, value, size):
+        self.stats.stores += 1
+        cache = self.cache
+        block_addr = cache.block_address(addr)
+        self.charge("forward", self.energy.cache_access)
+        line = cache.lookup(block_addr)
+        cycles = 1
+        if line is None:
+            line = self._miss(block_addr)
+            cycles += self.miss_cycles()
+        line.meta.on_write(cache.word_index(addr))
+        self.charge("forward", self.energy.bloom_access)
+        if size == 4:
+            cache.write_word(line, addr, value)
+        else:
+            cache.write_byte(line, addr, value)
+        return cycles
+
+    def miss_cycles(self):
+        """Latency of an NVM block fill (flash read, word-serial)."""
+        return 4 * self.words_per_block
+
+    # ------------------------------------------------------- lifecycle
+    def _reset_section_tracking(self):
+        """A backup starts a new intermittent section: reset GBF/LBF."""
+        self.gbf.reset()
+        for line in self.cache.valid_lines():
+            if line.meta is not None:
+                line.meta.reset()
+
+    def on_power_failure(self):
+        self.cache.clear()
+        self.gbf.reset()

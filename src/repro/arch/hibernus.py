@@ -1,0 +1,126 @@
+"""A Hibernus-style snapshot architecture (paper Section 2.1, [2, 3, 17]).
+
+Hibernus-class systems run entirely out of volatile SRAM and, just
+before power dies (an ADC threshold — our JIT policy), snapshot the
+*whole used RAM* plus registers into NVM; restore reloads the snapshot.
+No idempotency tracking is needed: home NVM locations are only written
+by the atomic snapshot, so re-execution always starts from a consistent
+image.
+
+This completes Figure 2's taxonomy alongside Clank (2b: backup per
+violation), task boundaries (2c: the ``task`` policy) and NvMR (2d):
+Hibernus is Figure 2a — "backup everything, once, just in time".
+
+Model: SRAM is a lazy overlay over the NVM image.  A first read of a
+word faults it in from NVM; writes dirty it in SRAM only.  A backup
+writes every *resident* word back to NVM (Hibernus copies the used RAM,
+not just the dirty subset — that is its weakness on large working
+sets), atomically with the register checkpoint.  A power failure drops
+the overlay; words fault back in on demand.
+
+Its structural trigger: none — but an unaffordable snapshot is a real
+risk, so pairing it with non-JIT policies costs dead energy like any
+other architecture.
+"""
+
+from repro.arch.base import IntermittentArchitecture
+from repro.cpu.state import Checkpoint
+
+_WORD_MASK = ~3 & 0xFFFFFFFF
+
+
+class HibernusArchitecture(IntermittentArchitecture):
+    name = "hibernus"
+
+    def __init__(
+        self,
+        nvm,
+        ledger,
+        energy,
+        layout,
+        sram_limit_words=4096,
+        sram_floor_words=256,
+    ):
+        super().__init__(nvm, ledger, energy, layout)
+        #: SRAM contents: word address -> value (resident set).
+        self.sram = {}
+        #: Resident words modified since the last persisted snapshot.
+        self.dirty = set()
+        self.sram_limit_words = sram_limit_words
+        #: The device's SRAM footprint in words: Hibernus copies the
+        #: *whole* SRAM, so a snapshot never costs less than this (a
+        #: 1 KB device, scaled down with the rest of the platform; real
+        #: Hibernus copies 4-8 KB).
+        self.sram_floor_words = sram_floor_words
+
+    def leakage_per_cycle(self):
+        return self.energy.cache_leak_cycle
+
+    # ---------------------------------------------------- word access
+    def _fault_in(self, word_addr):
+        if word_addr in self.sram:
+            self.charge("forward", self.energy.cache_access)
+            return self.sram[word_addr]
+        if len(self.sram) >= self.sram_limit_words:
+            raise RuntimeError(
+                "working set exceeds the Hibernus SRAM model; raise "
+                "sram_limit_words"
+            )
+        self.charge("forward", self.energy.nvm_read_word)
+        value = self.nvm.read_word(word_addr)
+        self.sram[word_addr] = value
+        return value
+
+    def load(self, addr, size):
+        self.stats.loads += 1
+        word_addr = addr & _WORD_MASK
+        word = self._fault_in(word_addr)
+        if size == 4:
+            return word, 2
+        return (word >> (8 * (addr & 3))) & 0xFF, 2
+
+    def store(self, addr, value, size):
+        self.stats.stores += 1
+        word_addr = addr & _WORD_MASK
+        if size == 4:
+            word = value & 0xFFFFFFFF
+            if word_addr not in self.sram and len(self.sram) >= self.sram_limit_words:
+                raise RuntimeError("working set exceeds the Hibernus SRAM model")
+        else:
+            current = self._fault_in(word_addr)
+            shift = 8 * (addr & 3)
+            word = (current & ~(0xFF << shift)) | ((value & 0xFF) << shift)
+        self.charge("forward", self.energy.cache_access)
+        self.sram[word_addr] = word
+        self.dirty.add(word_addr)
+        return 2
+
+    # --------------------------------------------------------- backup
+    def estimate_backup_cost(self):
+        # Hibernus snapshots the whole SRAM, not just the dirty words:
+        # cost is the device's SRAM footprint or the resident set,
+        # whichever is larger.
+        words = max(len(self.sram), self.sram_floor_words)
+        return (
+            words * self.energy.nvm_write_word
+            + Checkpoint.WORDS * self.energy.nvm_write_word
+            + self.energy.backup_commit
+        )
+
+    def backup(self, reason):
+        cost = self.estimate_backup_cost()
+        self.charge("backup", cost)
+        for word_addr, word in self.sram.items():
+            self.nvm.write_word(word_addr, word)
+        # The unused remainder of the SRAM footprint still gets copied
+        # to the snapshot region; count those accesses too.
+        self.nvm.writes += max(0, self.sram_floor_words - len(self.sram))
+        self.dirty.clear()
+        self.nvm.commit_checkpoint(self.snapshot_payload())
+        self.ledger.commit_epoch()
+        self.stats.count_backup(reason)
+
+    # ------------------------------------------------------ lifecycle
+    def on_power_failure(self):
+        self.sram = {}
+        self.dirty = set()

@@ -1,0 +1,36 @@
+"""Two-pass assembler for TinyRISC assembly.
+
+The assembler turns ``.text``/``.data`` source into a
+:class:`~repro.asm.program.Program`: a resolved instruction list, an
+initialised data image, and a symbol table.  It supports labels, the
+directives ``.text``, ``.data``, ``.word``, ``.space``, ``.asciz`` and
+``.align``, and the pseudo-instructions ``li`` (load 32-bit literal),
+``la`` (load address of a label), ``ret`` (``bx lr``) and ``neg``.
+
+The mini-C compiler (:mod:`repro.minicc`) emits this assembly; programs
+can also be written by hand (see ``examples/compiler_tour.py``).
+"""
+
+from repro.asm.assembler import assemble
+from repro.asm.errors import AsmError
+from repro.asm.program import (
+    CODE_BASE,
+    DATA_BASE,
+    FLASH_SIZE,
+    RESERVED_BASE,
+    STACK_TOP,
+    MemoryLayout,
+    Program,
+)
+
+__all__ = [
+    "AsmError",
+    "CODE_BASE",
+    "DATA_BASE",
+    "FLASH_SIZE",
+    "MemoryLayout",
+    "Program",
+    "RESERVED_BASE",
+    "STACK_TOP",
+    "assemble",
+]

@@ -1,0 +1,355 @@
+"""The two-pass TinyRISC assembler.
+
+Pass 1 sizes every statement and assigns addresses to labels; pass 2
+emits instructions (resolving symbols) and builds the data image.
+Pseudo-instructions always occupy a fixed number of slots so that the
+two passes agree on layout:
+
+=============  =====================================  =====
+Pseudo         Expansion                              Words
+=============  =====================================  =====
+``li rd, #v``  ``movw rd, lo16`` + ``movt rd, hi16``  2
+``la rd, sym`` ``movw`` + ``movt`` of the address     2
+``ret``        ``bx lr``                              1
+``neg rd, ra`` ``rsb rd, ra`` style ``rsbi``          1
+=============  =====================================  =====
+"""
+
+import struct
+
+from repro.asm.errors import AsmError
+from repro.asm.parser import Imm, Mem, Reg, Statement, Sym, parse_int, parse_line
+from repro.asm.program import WORD, MemoryLayout, Program
+from repro.isa.instructions import (
+    ALU_IMM_OPS,
+    ALU_REG_OPS,
+    BRANCH_OPS,
+    Instruction,
+    Opcode,
+)
+from repro.isa.registers import LR, u32
+
+_ALU_PAIRS = {
+    "add": (Opcode.ADD, Opcode.ADDI),
+    "sub": (Opcode.SUB, Opcode.SUBI),
+    "rsb": (Opcode.RSB, Opcode.RSBI),
+    "mul": (Opcode.MUL, Opcode.MULI),
+    "and": (Opcode.AND, Opcode.ANDI),
+    "orr": (Opcode.ORR, Opcode.ORRI),
+    "eor": (Opcode.EOR, Opcode.EORI),
+    "lsl": (Opcode.LSL, Opcode.LSLI),
+    "lsr": (Opcode.LSR, Opcode.LSRI),
+    "asr": (Opcode.ASR, Opcode.ASRI),
+}
+
+_ALU_REG_ONLY = {"sdiv": Opcode.SDIV, "udiv": Opcode.UDIV, "srem": Opcode.SREM}
+
+_LOADS = {"ldr": (Opcode.LDR, Opcode.LDRR), "ldrb": (Opcode.LDRB, Opcode.LDRBR)}
+_STORES = {"str": (Opcode.STR, Opcode.STRR), "strb": (Opcode.STRB, Opcode.STRBR)}
+
+_BRANCHES = {op.name.lower(): op for op in BRANCH_OPS}
+_BRANCHES["bl"] = Opcode.BL
+
+_PSEUDO_SIZES = {"li": 2, "la": 2}
+
+
+def _size_of_instr(stmt):
+    return _PSEUDO_SIZES.get(stmt.name, 1)
+
+
+class _Assembler:
+    def __init__(self, source, layout):
+        self.layout = layout
+        self.statements = [
+            parse_line(text, i + 1) for i, text in enumerate(source.splitlines())
+        ]
+        self.symbols = {}
+        self.instructions = []
+        self.source_lines = []
+        self.data = bytearray()
+
+    # ---------------------------------------------------------- pass 1
+    def assign_addresses(self):
+        section = "text"
+        text_addr = self.layout.code_base
+        data_addr = self.layout.data_base
+        for stmt in self.statements:
+            addr = text_addr if section == "text" else data_addr
+            for label in stmt.labels:
+                if label in self.symbols:
+                    raise AsmError(f"duplicate label: {label}", stmt.line)
+                self.symbols[label] = addr
+            if stmt.kind == "empty":
+                continue
+            if stmt.kind == "directive":
+                if stmt.name == ".text":
+                    section = "text"
+                elif stmt.name == ".data":
+                    section = "data"
+                else:
+                    if section != "data":
+                        raise AsmError(
+                            f"{stmt.name} only allowed in .data", stmt.line
+                        )
+                    data_addr += self._directive_size(stmt, data_addr)
+                continue
+            if section != "text":
+                raise AsmError("instruction outside .text", stmt.line)
+            text_addr += _size_of_instr(stmt) * WORD
+        code_words = (text_addr - self.layout.code_base) // WORD
+        if text_addr > self.layout.data_base:
+            raise AsmError(f"code section overflow: {code_words} words")
+
+    def _directive_size(self, stmt, addr):
+        name = stmt.name
+        if name == ".word":
+            return WORD * len(stmt.operands)
+        if name == ".byte":
+            return len(stmt.operands)
+        if name == ".space":
+            if len(stmt.operands) != 1:
+                raise AsmError(".space takes one size operand", stmt.line)
+            size = parse_int(stmt.operands[0], stmt.line)
+            if size < 0:
+                raise AsmError(".space size must be non-negative", stmt.line)
+            return size
+        if name == ".asciz":
+            return len(self._parse_string(stmt)) + 1
+        if name == ".align":
+            if len(stmt.operands) != 1:
+                raise AsmError(".align takes one operand", stmt.line)
+            power = parse_int(stmt.operands[0], stmt.line)
+            alignment = 1 << power
+            return (-addr) % alignment
+        raise AsmError(f"unknown directive: {name}", stmt.line)
+
+    def _parse_string(self, stmt):
+        if len(stmt.operands) != 1:
+            raise AsmError(".asciz takes one string operand", stmt.line)
+        raw = stmt.operands[0]
+        if len(raw) < 2 or raw[0] != '"' or raw[-1] != '"':
+            raise AsmError(".asciz operand must be a quoted string", stmt.line)
+        body = raw[1:-1]
+        out = []
+        i = 0
+        while i < len(body):
+            ch = body[i]
+            if ch == "\\" and i + 1 < len(body):
+                escapes = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", '"': '"'}
+                nxt = body[i + 1]
+                if nxt not in escapes:
+                    raise AsmError(f"bad string escape: \\{nxt}", stmt.line)
+                out.append(escapes[nxt])
+                i += 2
+            else:
+                out.append(ch)
+                i += 1
+        return "".join(out).encode("latin-1")
+
+    # ---------------------------------------------------------- pass 2
+    def emit(self):
+        section = "text"
+        for stmt in self.statements:
+            if stmt.kind == "empty":
+                continue
+            if stmt.kind == "directive":
+                if stmt.name == ".text":
+                    section = "text"
+                elif stmt.name == ".data":
+                    section = "data"
+                else:
+                    self._emit_data(stmt)
+                continue
+            if section != "text":  # pragma: no cover - caught in pass 1
+                raise AsmError("instruction outside .text", stmt.line)
+            addr = self.layout.code_base + len(self.instructions) * WORD
+            emitted = self._emit_instr(stmt, addr)
+            self.instructions.extend(emitted)
+            self.source_lines.extend([stmt.line] * len(emitted))
+
+    def _emit_data(self, stmt):
+        name = stmt.name
+        if name == ".word":
+            for token in stmt.operands:
+                value = self._data_value(token, stmt.line)
+                self.data += struct.pack("<I", u32(value))
+        elif name == ".byte":
+            for token in stmt.operands:
+                value = self._data_value(token, stmt.line)
+                self.data += struct.pack("<B", value & 0xFF)
+        elif name == ".space":
+            self.data += bytes(parse_int(stmt.operands[0], stmt.line))
+        elif name == ".asciz":
+            self.data += self._parse_string(stmt) + b"\0"
+        elif name == ".align":
+            addr = self.layout.data_base + len(self.data)
+            power = parse_int(stmt.operands[0], stmt.line)
+            self.data += bytes((-addr) % (1 << power))
+        else:  # pragma: no cover - caught in pass 1
+            raise AsmError(f"unknown directive: {name}", stmt.line)
+
+    def _data_value(self, token, line):
+        token = token.strip()
+        try:
+            return parse_int(token, line)
+        except AsmError:
+            if token in self.symbols:
+                return self.symbols[token]
+            raise AsmError(f"undefined symbol in data: {token}", line) from None
+
+    def _resolve(self, operand, line):
+        if isinstance(operand, Sym):
+            if operand.name not in self.symbols:
+                raise AsmError(f"undefined symbol: {operand.name}", line)
+            return self.symbols[operand.name]
+        if isinstance(operand, Imm):
+            return operand.value
+        raise AsmError(f"expected symbol or immediate, got {operand}", line)
+
+    def _emit_instr(self, stmt, addr):
+        name, ops, line = stmt.name, stmt.operands, stmt.line
+
+        def need(count):
+            if len(ops) != count:
+                raise AsmError(
+                    f"{name} expects {count} operands, got {len(ops)}", line
+                )
+
+        def reg(operand):
+            if not isinstance(operand, Reg):
+                raise AsmError(f"{name}: expected register, got {operand}", line)
+            return operand.index
+
+        if name in _ALU_PAIRS:
+            need(3)
+            reg_op, imm_op = _ALU_PAIRS[name]
+            rd, ra = reg(ops[0]), reg(ops[1])
+            if isinstance(ops[2], Reg):
+                return [Instruction(reg_op, rd=rd, ra=ra, rb=ops[2].index)]
+            if isinstance(ops[2], Imm):
+                return [Instruction(imm_op, rd=rd, ra=ra, imm=ops[2].value)]
+            raise AsmError(f"{name}: bad third operand", line)
+        if name in _ALU_REG_ONLY:
+            need(3)
+            return [
+                Instruction(
+                    _ALU_REG_ONLY[name],
+                    rd=reg(ops[0]),
+                    ra=reg(ops[1]),
+                    rb=reg(ops[2]),
+                )
+            ]
+        if name in ("mov", "mvn"):
+            need(2)
+            rd = reg(ops[0])
+            if isinstance(ops[1], Reg):
+                op = Opcode.MOV if name == "mov" else Opcode.MVN
+                return [Instruction(op, rd=rd, ra=ops[1].index)]
+            if isinstance(ops[1], Imm) and name == "mov":
+                if not 0 <= ops[1].value <= 0xFFFF:
+                    raise AsmError("mov immediate out of 16-bit range; use li", line)
+                return [Instruction(Opcode.MOVW, rd=rd, imm=ops[1].value)]
+            raise AsmError(f"{name}: bad operand", line)
+        if name == "movw" or name == "movt":
+            need(2)
+            value = self._resolve(ops[1], line)
+            if not 0 <= value <= 0xFFFF:
+                raise AsmError(f"{name}: literal out of range: {value}", line)
+            op = Opcode.MOVW if name == "movw" else Opcode.MOVT
+            return [Instruction(op, rd=reg(ops[0]), imm=value)]
+        if name == "li":
+            need(2)
+            if not isinstance(ops[1], Imm):
+                raise AsmError("li expects an immediate", line)
+            return self._expand_li(reg(ops[0]), ops[1].value)
+        if name == "la":
+            need(2)
+            if not isinstance(ops[1], Sym):
+                raise AsmError("la expects a label", line)
+            return self._expand_li(reg(ops[0]), self._resolve(ops[1], line))
+        if name == "neg":
+            need(2)
+            return [Instruction(Opcode.RSBI, rd=reg(ops[0]), ra=reg(ops[1]), imm=0)]
+        if name == "cmp":
+            need(2)
+            ra = reg(ops[0])
+            if isinstance(ops[1], Reg):
+                return [Instruction(Opcode.CMP, ra=ra, rb=ops[1].index)]
+            if isinstance(ops[1], Imm):
+                return [Instruction(Opcode.CMPI, ra=ra, imm=ops[1].value)]
+            raise AsmError("cmp: bad second operand", line)
+        if name in _LOADS or name in _STORES:
+            need(2)
+            imm_op, reg_op = (_LOADS.get(name) or _STORES[name])
+            rd = reg(ops[0])
+            if not isinstance(ops[1], Mem):
+                raise AsmError(f"{name}: expected memory operand", line)
+            mem = ops[1]
+            if mem.index is not None:
+                return [Instruction(reg_op, rd=rd, ra=mem.base, rb=mem.index)]
+            return [Instruction(imm_op, rd=rd, ra=mem.base, imm=mem.offset)]
+        if name in _BRANCHES:
+            need(1)
+            op = _BRANCHES[name]
+            target = self._resolve(ops[0], line)
+            offset = (target - (addr + WORD)) // WORD
+            if (target - (addr + WORD)) % WORD:
+                raise AsmError("branch target misaligned", line)
+            return [Instruction(op, imm=offset)]
+        if name == "bx":
+            need(1)
+            return [Instruction(Opcode.BX, ra=reg(ops[0]))]
+        if name == "ret":
+            need(0)
+            return [Instruction(Opcode.BX, ra=LR)]
+        if name == "nop":
+            need(0)
+            return [Instruction(Opcode.NOP)]
+        if name == "halt":
+            need(0)
+            return [Instruction(Opcode.HALT)]
+        raise AsmError(f"unknown mnemonic: {name}", line)
+
+    @staticmethod
+    def _expand_li(rd, value):
+        value = u32(value)
+        return [
+            Instruction(Opcode.MOVW, rd=rd, imm=value & 0xFFFF),
+            Instruction(Opcode.MOVT, rd=rd, imm=(value >> 16) & 0xFFFF),
+        ]
+
+
+def assemble(source, layout=None, entry="_start"):
+    """Assemble ``source`` text into a :class:`Program`.
+
+    Parameters
+    ----------
+    source:
+        Assembly source text.
+    layout:
+        Optional :class:`MemoryLayout`; defaults to the standard map.
+    entry:
+        Entry label.  Falls back to ``main``, then to the first
+        instruction, if the label is absent.
+    """
+    layout = layout or MemoryLayout()
+    assembler = _Assembler(source, layout)
+    assembler.assign_addresses()
+    assembler.emit()
+    symbols = assembler.symbols
+    if entry in symbols:
+        entry_addr = symbols[entry]
+    elif "main" in symbols:
+        entry_addr = symbols["main"]
+    else:
+        entry_addr = layout.code_base
+    if len(assembler.data) > layout.stack_top - layout.data_base:
+        raise AsmError("data section overflow")
+    return Program(
+        instructions=assembler.instructions,
+        data=bytes(assembler.data),
+        symbols=symbols,
+        entry=entry_addr,
+        source_lines=assembler.source_lines,
+        layout=layout,
+    )

@@ -1,0 +1,11 @@
+"""Exception types raised by the assembler."""
+
+
+class AsmError(Exception):
+    """An assembly source error, carrying the 1-based source line."""
+
+    def __init__(self, message, line=None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)

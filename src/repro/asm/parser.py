@@ -1,0 +1,209 @@
+"""Line parser for TinyRISC assembly source.
+
+Each source line is parsed into zero or more labels plus at most one
+statement (a directive or an instruction).  Comments start with ``;`` or
+``//`` and run to end of line.
+"""
+
+import re
+from dataclasses import dataclass
+
+from repro.asm.errors import AsmError
+from repro.isa.registers import REG_NAMES
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand (``#5``, ``#0x1F``, ``#-3``, ``#'a'``)."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Sym:
+    """A symbolic operand — a label reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand: ``[ra, #imm]`` or ``[ra, rb]``."""
+
+    base: int
+    offset: int = 0
+    index: int = None  # register index for the reg-offset form
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One parsed source line."""
+
+    labels: tuple
+    kind: str  # "instr" | "directive" | "empty"
+    name: str = ""
+    operands: tuple = ()
+    line: int = 0
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_NAME_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+_MEM_RE = re.compile(r"^\[\s*([^\s,\]]+)\s*(?:,\s*([^\]]+?)\s*)?\]$")
+
+
+def _strip_comment(text):
+    # Respect string literals in .asciz directives.
+    out = []
+    in_str = False
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if in_str:
+            out.append(ch)
+            if ch == "\\" and i + 1 < len(text):
+                out.append(text[i + 1])
+                i += 2
+                continue
+            if ch == '"':
+                in_str = False
+            i += 1
+            continue
+        if ch == '"':
+            in_str = True
+            out.append(ch)
+            i += 1
+            continue
+        if ch == ";":
+            break
+        if ch == "/" and text[i : i + 2] == "//":
+            break
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def parse_int(token, line=None):
+    """Parse an integer literal: decimal, hex (0x), binary (0b), or 'c'."""
+    token = token.strip()
+    if len(token) >= 3 and token[0] == "'" and token[-1] == "'":
+        body = token[1:-1]
+        if body.startswith("\\"):
+            escapes = {"\\n": "\n", "\\t": "\t", "\\0": "\0", "\\\\": "\\", "\\'": "'"}
+            if body not in escapes:
+                raise AsmError(f"bad character escape: {token}", line)
+            body = escapes[body]
+        if len(body) != 1:
+            raise AsmError(f"bad character literal: {token}", line)
+        return ord(body)
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AsmError(f"bad integer literal: {token}", line) from None
+
+
+def _split_operands(text):
+    """Split an operand list on commas, respecting brackets and strings."""
+    parts = []
+    depth = 0
+    in_str = False
+    current = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if in_str:
+            current.append(ch)
+            if ch == "\\" and i + 1 < len(text):
+                current.append(text[i + 1])
+                i += 2
+                continue
+            if ch == '"':
+                in_str = False
+        elif ch == '"':
+            in_str = True
+            current.append(ch)
+        elif ch == "[":
+            depth += 1
+            current.append(ch)
+        elif ch == "]":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def parse_operand(token, line=None):
+    """Parse a single operand token into Reg/Imm/Sym/Mem."""
+    token = token.strip()
+    if not token:
+        raise AsmError("empty operand", line)
+    lowered = token.lower()
+    if lowered in REG_NAMES:
+        return Reg(REG_NAMES[lowered])
+    if token.startswith("#"):
+        return Imm(parse_int(token[1:], line))
+    if token.startswith("["):
+        match = _MEM_RE.match(token)
+        if not match:
+            raise AsmError(f"bad memory operand: {token}", line)
+        base_tok, second_tok = match.group(1), match.group(2)
+        base_low = base_tok.lower()
+        if base_low not in REG_NAMES:
+            raise AsmError(f"memory base must be a register: {base_tok}", line)
+        base = REG_NAMES[base_low]
+        if second_tok is None:
+            return Mem(base=base, offset=0)
+        second_low = second_tok.strip().lower()
+        if second_low in REG_NAMES:
+            return Mem(base=base, index=REG_NAMES[second_low])
+        if second_tok.strip().startswith("#"):
+            return Mem(base=base, offset=parse_int(second_tok.strip()[1:], line))
+        raise AsmError(f"bad memory offset: {second_tok}", line)
+    if token[0].isdigit() or token[0] in "+-":
+        return Imm(parse_int(token, line))
+    if _NAME_RE.match(token):
+        return Sym(token)
+    raise AsmError(f"unparseable operand: {token}", line)
+
+
+def parse_line(text, line_no):
+    """Parse one raw source line into a :class:`Statement`."""
+    text = _strip_comment(text).strip()
+    labels = []
+    while True:
+        match = _LABEL_RE.match(text)
+        if not match:
+            break
+        labels.append(match.group(1))
+        text = text[match.end() :].strip()
+    if not text:
+        return Statement(tuple(labels), "empty", line=line_no)
+    if text.startswith("."):
+        parts = text.split(None, 1)
+        name = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if name == ".asciz":
+            operands = (rest.strip(),)
+        else:
+            operands = tuple(_split_operands(rest)) if rest else ()
+        return Statement(tuple(labels), "directive", name, operands, line_no)
+    parts = text.split(None, 1)
+    mnemonic = parts[0].lower()
+    rest = parts[1] if len(parts) > 1 else ""
+    tokens = _split_operands(rest) if rest else []
+    operands = tuple(parse_operand(tok, line_no) for tok in tokens)
+    return Statement(tuple(labels), "instr", mnemonic, operands, line_no)

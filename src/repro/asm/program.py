@@ -1,0 +1,101 @@
+"""Assembled program images and the flash memory layout.
+
+The layout mirrors a small MCU with a 2 MB flash (Table 2 of the paper):
+code at the bottom, static data above it, a stack region, and a
+compiler-reserved renaming region for NvMR near the top.  All data
+addresses (globals *and* stack) are NVM addresses accessed through the
+volatile write-back cache, matching the paper's architecture model.
+"""
+
+from dataclasses import dataclass, field
+
+#: Base address of the code section.
+CODE_BASE = 0x0000_0000
+#: Base address of static data (``.data``).
+DATA_BASE = 0x0002_0000
+#: Initial stack pointer; the stack grows down from here.
+STACK_TOP = 0x0006_0000
+#: Base of the compiler-reserved NVM region used by NvMR for renaming.
+RESERVED_BASE = 0x0010_0000
+#: Total flash size (2 MB).
+FLASH_SIZE = 0x0020_0000
+
+WORD = 4
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Address-space layout used by assembled programs and the platform."""
+
+    code_base: int = CODE_BASE
+    data_base: int = DATA_BASE
+    stack_top: int = STACK_TOP
+    reserved_base: int = RESERVED_BASE
+    flash_size: int = FLASH_SIZE
+
+    def reserved_mappings(self, count, block_size):
+        """Return ``count`` block-aligned addresses from the reserved region.
+
+        These populate NvMR's free list.  Raises :class:`ValueError` if
+        the region cannot hold them.
+        """
+        top = self.reserved_base + count * block_size
+        if top > self.flash_size:
+            raise ValueError(
+                f"reserved region overflow: need {count} blocks of {block_size}B"
+            )
+        return [self.reserved_base + i * block_size for i in range(count)]
+
+
+@dataclass
+class Program:
+    """A fully assembled TinyRISC program.
+
+    Attributes
+    ----------
+    instructions:
+        Decoded instructions in code order; instruction ``i`` lives at
+        ``code_base + 4*i``.
+    data:
+        Initialised data image as ``bytes`` placed at ``data_base``.
+    symbols:
+        Label name -> absolute address (both text and data labels).
+    entry:
+        Absolute address of the first instruction to execute.
+    source_lines:
+        For each instruction, the 1-based source line it came from
+        (parallel to ``instructions``); useful in error messages.
+    layout:
+        The :class:`MemoryLayout` the program was assembled against.
+    """
+
+    instructions: list
+    data: bytes
+    symbols: dict
+    entry: int
+    source_lines: list = field(default_factory=list)
+    layout: MemoryLayout = field(default_factory=MemoryLayout)
+
+    @property
+    def code_size(self):
+        """Code footprint in bytes."""
+        return len(self.instructions) * WORD
+
+    @property
+    def data_end(self):
+        """First address past the initialised data image."""
+        return self.layout.data_base + len(self.data)
+
+    def symbol(self, name):
+        """Return the address of label ``name`` (KeyError if undefined)."""
+        return self.symbols[name]
+
+    def instruction_index(self, pc):
+        """Map an absolute PC to an index into :attr:`instructions`."""
+        offset = pc - self.layout.code_base
+        if offset % WORD:
+            raise ValueError(f"misaligned pc: {pc:#x}")
+        index = offset // WORD
+        if not 0 <= index < len(self.instructions):
+            raise ValueError(f"pc outside code section: {pc:#x}")
+        return index

@@ -1,0 +1,299 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``list``
+    Show available benchmarks, architectures and backup policies.
+``compile``
+    Compile a mini-C source file to TinyRISC assembly (or run it on
+    continuous power and dump a symbol).
+``run``
+    Run a benchmark on an intermittent platform and print the result
+    summary and energy breakdown (``--json`` for machine-readable).
+``experiment``
+    Regenerate one of the paper's tables/figures and print it.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.arch import ARCHITECTURES
+from repro.policies import POLICIES
+from repro.workloads import BENCHMARKS
+
+
+def _cmd_list(_args):
+    print("benchmarks   :", ", ".join(sorted(BENCHMARKS)))
+    print("architectures:", ", ".join(sorted(ARCHITECTURES)))
+    print("policies     :", ", ".join(sorted(POLICIES)))
+    print("experiments  :", ", ".join(sorted(_EXPERIMENTS)))
+    return 0
+
+
+def _cmd_compile(args):
+    from repro.minicc import compile_minic, compile_to_asm
+
+    source = open(args.source).read()
+    if args.output:
+        asm = compile_to_asm(source)
+        with open(args.output, "w") as handle:
+            handle.write(asm)
+        print(f"wrote {args.output}")
+        return 0
+    if args.dump_symbol:
+        from repro.sim import run_reference
+
+        program = compile_minic(source)
+        result = run_reference(program)
+        base = program.symbol(args.dump_symbol)
+        words = result.words_at(base, args.words)
+        print(f"{args.dump_symbol} @ {base:#x}: {words}")
+        return 0
+    print(compile_to_asm(source))
+    return 0
+
+
+def _cmd_disasm(args):
+    from repro.isa.encoding import disassemble
+    from repro.workloads import BENCHMARKS, load_program
+
+    if args.target in BENCHMARKS:
+        program = load_program(args.target)
+    else:
+        from repro.minicc import compile_minic
+
+        program = compile_minic(open(args.target).read())
+    labels = {}
+    for name, addr in program.symbols.items():
+        labels.setdefault(addr, []).append(name)
+    base = program.layout.code_base
+    for index, instr in enumerate(program.instructions):
+        pc = base + 4 * index
+        for label in labels.get(pc, []):
+            print(f"{label}:")
+        line = program.source_lines[index] if index < len(program.source_lines) else 0
+        print(f"  {pc:#08x}:  {disassemble(instr):<32} ; line {line}")
+    print(
+        f"\n{len(program.instructions)} instructions, "
+        f"{len(program.data)} data bytes"
+    )
+    return 0
+
+
+def _cmd_run(args):
+    from repro.energy.traces import HarvestTrace
+    from repro.sim.platform import Platform, PlatformConfig
+    from repro.workloads import load_program, run_workload, verify_platform
+
+    if args.timeline:
+        program = load_program(args.benchmark)
+        config = PlatformConfig(arch=args.arch, policy=args.policy)
+        platform = Platform(
+            program, config, trace=HarvestTrace(args.trace),
+            benchmark_name=args.benchmark,
+        )
+        result = platform.run()
+        if args.arch != "ideal":
+            verify_platform(args.benchmark, platform)
+        from repro.analysis.timeline import render_timeline
+
+        print(render_timeline(platform))
+        print()
+    else:
+        result = run_workload(
+            args.benchmark,
+            arch=args.arch,
+            policy=args.policy,
+            trace_seed=args.trace,
+        )
+    if args.json:
+        payload = {
+            "benchmark": result.benchmark,
+            "arch": result.arch,
+            "policy": result.policy,
+            "total_energy_nj": result.total_energy,
+            "breakdown_nj": result.breakdown.as_dict(),
+            "instructions": result.instructions,
+            "active_cycles": result.active_cycles,
+            "active_periods": result.active_periods,
+            "backups": result.backups,
+            "backups_by_reason": result.backups_by_reason,
+            "violations": result.violations,
+            "renames": result.renames,
+            "reclaims": result.reclaims,
+            "power_failures": result.power_failures,
+            "restores": result.restores,
+            "nvm_reads": result.nvm_reads,
+            "nvm_writes": result.nvm_writes,
+            "max_wear": result.max_wear,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(result.summary())
+    total = result.total_energy
+    for category, value in result.breakdown.as_dict().items():
+        if value:
+            print(f"  {category:>18}: {value / 1e3:9.2f} uJ ({100 * value / total:5.1f}%)")
+    return 0
+
+
+def _experiment_registry():
+    from repro import analysis
+
+    return {
+        "table2": lambda s: analysis.format_mapping(
+            "Table 2: system configuration", analysis.table2_configuration()
+        ),
+        "table3": lambda s: analysis.format_series(
+            "Table 3: idempotency violations",
+            analysis.table3_violations(s),
+            value_format="{:,.0f}",
+        ),
+        "table4": lambda s: analysis.format_mapping(
+            "Table 4: HOOP configuration", analysis.table4_hoop_configuration()
+        ),
+        "fig10": lambda s: analysis.format_matrix(
+            "Figure 10: % energy saved, NvMR vs Clank",
+            analysis.fig10_backup_schemes(s),
+        ),
+        "fig11": lambda s: analysis.format_breakdowns(
+            "Figure 11: energy breakdown (normalised to Clank)",
+            analysis.fig11_energy_breakdown(s),
+        ),
+        "fig12": lambda s: analysis.format_matrix(
+            "Figure 12: % energy saved, NvMR vs HOOP", analysis.fig12_hoop(s)
+        ),
+        "fig13a": lambda s: analysis.format_series(
+            "Figure 13a: MTC entries", analysis.fig13a_mtc_size(s)
+        ),
+        "fig13b": lambda s: analysis.format_series(
+            "Figure 13b: MTC associativity", analysis.fig13b_mtc_assoc(s)
+        ),
+        "fig13c": lambda s: analysis.format_series(
+            "Figure 13c: map-table entries", analysis.fig13c_map_table(s)
+        ),
+        "fig13d": lambda s: analysis.format_series(
+            "Figure 13d: capacitor size", analysis.fig13d_capacitor(s)
+        ),
+        "fig14": lambda s: analysis.format_matrix(
+            "Figure 14: reclaim vs no-reclaim",
+            {
+                mode: {b: v[mode] for b, v in analysis.fig14_reclaim(s).items()}
+                for mode in ("reclaim", "no_reclaim")
+            },
+        ),
+        "overheads": lambda s: analysis.format_mapping(
+            "Section 6.5: overheads",
+            {k: f"{v:.2f}" for k, v in analysis.overheads_study(s).items()},
+        ),
+        "footnote6": lambda s: analysis.format_series(
+            "Footnote 6: cached vs original Clank",
+            analysis.footnote6_original_clank(s),
+        ),
+    }
+
+
+_EXPERIMENTS = (
+    "table2", "table3", "table4", "fig10", "fig11", "fig12",
+    "fig13a", "fig13b", "fig13c", "fig13d", "fig14", "overheads",
+    "footnote6",
+)
+
+
+def _cmd_report(args):
+    from repro.analysis import ExperimentSettings
+    from repro.analysis.report import write_report
+
+    settings = ExperimentSettings.full() if args.full else ExperimentSettings.default()
+    path = write_report(args.output, settings, sections=args.only or None)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_experiment(args):
+    from repro.analysis import ExperimentSettings
+
+    settings = ExperimentSettings.full() if args.full else ExperimentSettings.default()
+    registry = _experiment_registry()
+    for name in args.names:
+        if name not in registry:
+            print(f"unknown experiment {name!r}; options: {', '.join(_EXPERIMENTS)}")
+            return 2
+        print(registry[name](settings))
+        print()
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NvMR (ISCA 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks / architectures / policies")
+
+    p_compile = sub.add_parser("compile", help="compile mini-C to TinyRISC asm")
+    p_compile.add_argument("source", help="mini-C source file (.mc)")
+    p_compile.add_argument("-o", "--output", help="write assembly to a file")
+    p_compile.add_argument(
+        "--dump-symbol", help="run on continuous power and dump this symbol"
+    )
+    p_compile.add_argument(
+        "--words", type=int, default=4, help="words to dump (with --dump-symbol)"
+    )
+
+    p_disasm = sub.add_parser(
+        "disasm", help="disassemble a benchmark or a mini-C source file"
+    )
+    p_disasm.add_argument("target", help="benchmark name or .mc file path")
+
+    p_run = sub.add_parser("run", help="run a benchmark intermittently")
+    p_run.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    p_run.add_argument("--arch", default="nvmr", choices=sorted(ARCHITECTURES))
+    p_run.add_argument("--policy", default="jit", choices=sorted(POLICIES))
+    p_run.add_argument("--trace", type=int, default=0, help="harvest-trace seed")
+    p_run.add_argument("--json", action="store_true", help="machine-readable output")
+    p_run.add_argument("--timeline", action="store_true",
+                       help="render the run's period/backup/failure timeline")
+
+    p_report = sub.add_parser("report", help="run all experiments into one markdown report")
+    p_report.add_argument("-o", "--output", default="report.md")
+    p_report.add_argument("--only", nargs="*", metavar="keyword",
+                          help="restrict to sections whose title contains a keyword")
+    p_report.add_argument("--full", action="store_true",
+                          help="paper-scale averaging (10 traces)")
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument("names", nargs="+", metavar="name",
+                       help=f"one of: {', '.join(_EXPERIMENTS)}")
+    p_exp.add_argument("--full", action="store_true",
+                       help="paper-scale averaging (10 traces)")
+
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except BrokenPipeError:
+        # e.g. `repro disasm qsort | head` — the consumer closed early.
+        return 0
+
+
+def _dispatch(args):
+    handler = {
+        "list": _cmd_list,
+        "compile": _cmd_compile,
+        "disasm": _cmd_disasm,
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+        "report": _cmd_report,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

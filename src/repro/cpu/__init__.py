@@ -1,0 +1,16 @@
+"""The TinyRISC processor model.
+
+A 3-stage in-order pipeline in the style of the ARM Cortex M0+: one
+instruction completes at a time, with a fixed base cycle cost per opcode,
+a taken-branch refill penalty, and memory latency supplied by whatever
+memory system the core is attached to (the intermittent architectures in
+:mod:`repro.arch` implement that interface).
+
+The volatile architectural state — register file, NZCV flags and PC — is
+what intermittent backups snapshot (:class:`~repro.cpu.state.Checkpoint`).
+"""
+
+from repro.cpu.core import Core, MemorySystem
+from repro.cpu.state import Checkpoint, Flags, RegisterFile
+
+__all__ = ["Checkpoint", "Core", "Flags", "MemorySystem", "RegisterFile"]

@@ -1,0 +1,67 @@
+"""Volatile processor state and backup snapshots.
+
+A :class:`Checkpoint` is exactly what the paper's backups persist: "the
+contents of the volatile register file (including the program counter)"
+plus the condition flags.  Its :attr:`~Checkpoint.WORDS` constant is used
+by the energy model to price a backup's register portion.
+"""
+
+from dataclasses import dataclass
+
+from repro.isa.registers import NUM_REGS
+
+
+@dataclass
+class Flags:
+    """The NZCV condition flags, set by compare instructions."""
+
+    n: bool = False
+    z: bool = False
+    c: bool = False
+    v: bool = False
+
+    def copy(self):
+        return Flags(self.n, self.z, self.c, self.v)
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """An immutable snapshot of the volatile processor state.
+
+    ``WORDS`` is the NVM footprint of the snapshot in 32-bit words:
+    16 registers + PC + packed flags = 18 words (the paper's M0+ snapshot
+    of general-purpose plus special registers).
+    """
+
+    registers: tuple
+    pc: int
+    flags: Flags
+
+    WORDS = NUM_REGS + 2
+
+
+class RegisterFile:
+    """The 16 general-purpose registers plus PC and flags."""
+
+    __slots__ = ("regs", "pc", "flags")
+
+    def __init__(self):
+        self.regs = [0] * NUM_REGS
+        self.pc = 0
+        self.flags = Flags()
+
+    def snapshot(self):
+        """Capture the state a backup would persist."""
+        return Checkpoint(tuple(self.regs), self.pc, self.flags.copy())
+
+    def restore(self, checkpoint):
+        """Rewind to ``checkpoint`` (what a post-power-loss restore does)."""
+        self.regs = list(checkpoint.registers)
+        self.pc = checkpoint.pc
+        self.flags = checkpoint.flags.copy()
+
+    def reset(self):
+        """Power-on-reset state (all zeros)."""
+        self.regs = [0] * NUM_REGS
+        self.pc = 0
+        self.flags = Flags()

@@ -1,0 +1,28 @@
+"""Energy modelling: event costs, the supercapacitor, harvest traces,
+per-category accounting, and the analytical area model.
+
+The paper's evaluation combines CACTI (SRAM structure power), an
+STM32L011K4 datasheet (flash/NVM access energy) and real harvested
+voltage traces.  This package replaces those with explicit, documented
+constants and seeded synthetic traces; see DESIGN.md for why the
+substitution preserves the evaluation's shape (the conclusions depend on
+the *ratios* NVM write >> NVM read >> SRAM access >> logic).
+"""
+
+from repro.energy.accounting import EnergyBreakdown, EnergyLedger, PowerFailure
+from repro.energy.area import AreaModel
+from repro.energy.capacitor import CAPACITOR_PRESETS, Supercapacitor
+from repro.energy.model import EnergyModel
+from repro.energy.traces import HarvestTrace, default_traces
+
+__all__ = [
+    "AreaModel",
+    "CAPACITOR_PRESETS",
+    "EnergyBreakdown",
+    "EnergyLedger",
+    "EnergyModel",
+    "HarvestTrace",
+    "PowerFailure",
+    "Supercapacitor",
+    "default_traces",
+]

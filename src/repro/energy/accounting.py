@@ -1,0 +1,113 @@
+"""Energy accounting: categories, epochs, and dead-energy reclassification.
+
+Following the EH model [39] the paper splits total energy into *forward
+progress*, *backup*, *restore* and *dead* energy, and adds NvMR-specific
+overhead versions (map-table-cache / map-table / free-list traffic) plus
+a *reclaim* component.
+
+Dead energy is "energy spent on work that was lost": everything charged
+after the last persisted backup becomes dead when power fails.  The
+ledger implements this with an *epoch* buffer — charges accumulate per
+category in the current epoch; a successful backup folds the epoch into
+the committed totals; a power failure folds the entire epoch into
+``dead`` instead.
+
+Charging is fused with the supercapacitor draw: if the capacitor cannot
+pay for an event, the ledger consumes the remaining charge and raises
+:class:`PowerFailure`, which the platform catches to perform the
+failure/restore sequence.
+"""
+
+from dataclasses import dataclass, field
+
+#: Canonical category names (Figure 11's stacked components).
+CATEGORIES = (
+    "forward",
+    "forward_overhead",
+    "backup",
+    "backup_overhead",
+    "restore",
+    "restore_overhead",
+    "reclaim",
+    "dead",
+)
+
+
+class PowerFailure(Exception):
+    """Raised when an energy draw exceeds the remaining stored charge."""
+
+
+@dataclass
+class EnergyBreakdown:
+    """Committed energy totals per category (nJ)."""
+
+    forward: float = 0.0
+    forward_overhead: float = 0.0
+    backup: float = 0.0
+    backup_overhead: float = 0.0
+    restore: float = 0.0
+    restore_overhead: float = 0.0
+    reclaim: float = 0.0
+    dead: float = 0.0
+
+    @property
+    def total(self):
+        return sum(getattr(self, name) for name in CATEGORIES)
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in CATEGORIES}
+
+    def add(self, other):
+        for name in CATEGORIES:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def scaled(self, factor):
+        out = EnergyBreakdown()
+        for name in CATEGORIES:
+            setattr(out, name, getattr(self, name) * factor)
+        return out
+
+
+@dataclass
+class EnergyLedger:
+    """Charges energy events against the capacitor and classifies them."""
+
+    capacitor: object
+    committed: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    _epoch: dict = field(default_factory=dict)
+
+    def charge(self, category, amount):
+        """Charge ``amount`` nJ to ``category`` in the current epoch.
+
+        Raises :class:`PowerFailure` if the capacitor cannot pay; the
+        partial amount actually drawn is still recorded (that energy was
+        really spent before the lights went out).
+        """
+        if amount == 0:
+            return
+        if category not in CATEGORIES:
+            raise ValueError(f"unknown energy category: {category}")
+        available = self.capacitor.energy
+        if not self.capacitor.draw(amount):
+            self._epoch[category] = self._epoch.get(category, 0.0) + available
+            raise PowerFailure(category)
+        self._epoch[category] = self._epoch.get(category, 0.0) + amount
+
+    def epoch_total(self):
+        """Energy charged since the last committed backup."""
+        return sum(self._epoch.values())
+
+    def commit_epoch(self):
+        """A backup persisted: the epoch's work is safe — commit it."""
+        for category, amount in self._epoch.items():
+            setattr(self.committed, category, getattr(self.committed, category) + amount)
+        self._epoch = {}
+
+    def fail_epoch(self):
+        """Power failed: everything since the last backup is dead energy."""
+        self.committed.dead += sum(self._epoch.values())
+        self._epoch = {}
+
+    @property
+    def total_spent(self):
+        return self.committed.total + self.epoch_total()

@@ -1,0 +1,72 @@
+"""Analytical on-chip area model (the paper's McPAT stand-in).
+
+Section 6.5 reports the map-table cache as ~6% on-chip area overhead
+relative to their version of Clank.  We estimate structure areas with a
+simple SRAM-cell model: ``area = bits * cell_area * array_overhead``
+plus a fixed core area for the Cortex M0+-class pipeline.  The absolute
+numbers are indicative; the experiment reports the *relative* overhead.
+"""
+
+from dataclasses import dataclass
+
+#: 6T SRAM cell area at a 65 nm-class node, mm^2 per bit.
+SRAM_CELL_MM2 = 0.52e-6
+#: Peripheral/array overhead multiplier (decoders, sense amps, tags).
+ARRAY_OVERHEAD = 1.6
+#: Cortex M0+-class core (pipeline + regfile + mul + debug), mm^2.
+CORE_MM2 = 0.42
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Computes structure areas for a platform configuration."""
+
+    cell_mm2: float = SRAM_CELL_MM2
+    array_overhead: float = ARRAY_OVERHEAD
+    core_mm2: float = CORE_MM2
+
+    def sram_mm2(self, bits):
+        """Area of an SRAM array holding ``bits`` bits."""
+        return bits * self.cell_mm2 * self.array_overhead
+
+    def cache_bits(self, size_bytes, assoc, block_size, addr_bits=24):
+        """Data + tag + state bits of a set-associative cache."""
+        lines = size_bytes // block_size
+        sets = lines // assoc
+        index_bits = max(sets - 1, 0).bit_length()
+        offset_bits = (block_size - 1).bit_length()
+        tag_bits = addr_bits - index_bits - offset_bits
+        per_line = block_size * 8 + tag_bits + 2  # data + tag + valid/dirty
+        return lines * per_line
+
+    def lbf_bits(self, size_bytes, block_size):
+        """LBF storage: 2 bits per word of every cache line."""
+        lines = size_bytes // block_size
+        return lines * (block_size // 4) * 2
+
+    def mtc_bits(self, entries, addr_bits=24, block_offset_bits=4):
+        """Map-table cache: tag + old + new mappings + valid/dirty."""
+        mapping_bits = addr_bits - block_offset_bits
+        per_entry = 3 * mapping_bits + 2
+        return entries * per_entry
+
+    def clank_mm2(self, cache_bytes=256, assoc=8, block=16, gbf_bits=8):
+        """On-chip area of the paper's version of Clank."""
+        bits = (
+            self.cache_bits(cache_bytes, assoc, block)
+            + self.lbf_bits(cache_bytes, block)
+            + gbf_bits
+        )
+        return self.core_mm2 + self.sram_mm2(bits)
+
+    def nvmr_mm2(self, cache_bytes=256, assoc=8, block=16, gbf_bits=8, mtc_entries=512):
+        """On-chip area of NvMR = Clank + the map-table cache."""
+        return self.clank_mm2(cache_bytes, assoc, block, gbf_bits) + self.sram_mm2(
+            self.mtc_bits(mtc_entries)
+        )
+
+    def mtc_overhead_percent(self, mtc_entries=512, **kwargs):
+        """The Section 6.5 headline: MTC area as % of the Clank baseline."""
+        clank = self.clank_mm2(**kwargs)
+        nvmr = self.nvmr_mm2(mtc_entries=mtc_entries, **kwargs)
+        return 100.0 * (nvmr - clank) / clank

@@ -1,0 +1,92 @@
+"""The supercapacitor energy-storage model.
+
+A real 100 mF supercapacitor swinging 2.4 V -> 1.8 V stores
+``0.5 * C * (V_on^2 - V_off^2) ~= 0.126 J`` of usable energy — hundreds
+of millions of simulated cycles, far beyond what a cycle-level Python
+model can execute per experiment.  We therefore *scale* the usable
+energy so that active periods are thousands-to-tens-of-thousands of
+cycles, preserving the property the paper's Figure 13d depends on:
+bigger capacitors -> longer active periods -> more idempotency
+violations per intermittent section.  The preset ratios between the
+paper's three capacitor sizes (500 uF, 7.5 mF, 100 mF) are compressed
+(documented in EXPERIMENTS.md) so the smallest capacitor still fits
+several backups per period.
+"""
+
+from dataclasses import dataclass
+
+V_ON = 2.4
+V_OFF = 1.8
+
+#: Scaled usable energy (nJ) per fully charged active period.  Sized so
+#: the default (100 mF) active period spans a few watchdog periods
+#: (8000 cycles), as in the paper's testbed; the sweep preserves the
+#: ordering 500 uF < 7.5 mF < 100 mF with compressed ratios so the
+#: smallest capacitor still fits several backups per period.
+CAPACITOR_PRESETS = {
+    "500uF": 6_000.0,
+    "7.5mF": 14_000.0,
+    "100mF": 28_000.0,
+}
+
+DEFAULT_CAPACITOR = "100mF"
+
+
+@dataclass
+class Supercapacitor:
+    """Tracks remaining usable energy during one active period.
+
+    ``capacity`` is the scaled usable energy at full charge (V_on).
+    ``energy`` is what remains before the brown-out threshold (V_off).
+    """
+
+    capacity: float
+    energy: float = None
+
+    def __post_init__(self):
+        if self.capacity <= 0:
+            raise ValueError("capacitor capacity must be positive")
+        if self.energy is None:
+            self.energy = self.capacity
+
+    @classmethod
+    def from_preset(cls, name=DEFAULT_CAPACITOR):
+        try:
+            return cls(CAPACITOR_PRESETS[name])
+        except KeyError:
+            raise ValueError(
+                f"unknown capacitor preset {name!r}; "
+                f"options: {sorted(CAPACITOR_PRESETS)}"
+            ) from None
+
+    def recharge(self, budget=None):
+        """Start a new active period with ``budget`` usable energy.
+
+        ``budget`` defaults to full capacity; harvest traces modulate it
+        per period (harvesting conditions vary while charging/running).
+        """
+        self.energy = self.capacity if budget is None else min(budget, self.capacity)
+
+    def can_afford(self, amount):
+        return self.energy >= amount
+
+    def draw(self, amount):
+        """Draw ``amount`` nJ; returns False (and drains to zero) if the
+        charge is insufficient — the caller must declare a power failure."""
+        if amount < 0:
+            raise ValueError("cannot draw negative energy")
+        if self.energy < amount:
+            self.energy = 0.0
+            return False
+        self.energy -= amount
+        return True
+
+    @property
+    def fraction(self):
+        """Remaining fraction of a full charge (0..1)."""
+        return self.energy / self.capacity
+
+    @property
+    def voltage(self):
+        """Terminal voltage implied by the remaining usable energy."""
+        return (V_OFF**2 + (V_ON**2 - V_OFF**2) * self.fraction) ** 0.5

@@ -1,0 +1,75 @@
+"""The per-event energy cost table.
+
+All values are in nanojoules and are *model* constants: they preserve
+the orderings that drive the paper's results —
+
+``nvm_write >> nvm_read >> sram access >> bloom/logic`` —
+
+with a flash write/read ratio of ~16x and flash-read/CPU-cycle ratio of
+~12x, in line with ultra-low-power MCU datasheets (an STM32L011-class
+part runs at ~0.2 nJ/cycle at 8 MHz/3 V; flash word programming costs
+tens of nJ once amortised over page operations).  Absolute magnitudes
+are scaled to the scaled supercapacitor (see
+:mod:`repro.energy.capacitor`), so only ratios are meaningful.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Energy cost (nJ) of each architectural event."""
+
+    #: One CPU clock cycle (core logic + instruction fetch path).
+    cpu_cycle: float = 0.2
+    #: One data-cache word access (CACTI-style SRAM read/write).
+    cache_access: float = 0.05
+    #: One GBF or LBF query/update.
+    bloom_access: float = 0.005
+    #: One map-table-cache (SRAM) lookup/insert.
+    mtc_access: float = 0.08
+    #: One NVM (flash) word read.
+    nvm_read_word: float = 0.8
+    #: One NVM (flash) word write/program.
+    nvm_write_word: float = 40.0
+    #: Per-cycle leakage of the data cache + filters.
+    cache_leak_cycle: float = 0.002
+    #: Per-cycle leakage of the map-table cache (NvMR only).
+    mtc_leak_cycle: float = 0.002
+    #: Fixed commit cost of a backup (double-buffer flip + commit record).
+    backup_commit: float = 80.0
+    #: Fixed cost of waking and rebuilding volatile control state.
+    restore_fixed: float = 20.0
+
+    def block_write(self, words):
+        """Cost of persisting a ``words``-word cache block to NVM."""
+        return words * self.nvm_write_word
+
+    def block_read(self, words):
+        """Cost of fetching a ``words``-word cache block from NVM."""
+        return words * self.nvm_read_word
+
+    @classmethod
+    def flash(cls):
+        """The default technology: flash, writes ~50x reads (Table 2)."""
+        return cls()
+
+    @classmethod
+    def fram(cls):
+        """FRAM (paper footnote 8): writes cost roughly as little as
+        reads — "three orders of magnitude less energy" than flash
+        programming — which makes backups cheap and shrinks the value
+        of avoiding them.  Used by the NVM-technology extension study."""
+        return cls(
+            nvm_read_word=0.3,
+            nvm_write_word=0.5,
+            backup_commit=5.0,
+            restore_fixed=5.0,
+        )
+
+
+#: Technology presets selectable via PlatformConfig.nvm_technology.
+NVM_TECHNOLOGIES = {
+    "flash": EnergyModel.flash,
+    "fram": EnergyModel.fram,
+}

@@ -1,0 +1,72 @@
+"""Scripted harvest traces: exact, user-specified failure schedules.
+
+:class:`ScriptedTrace` implements the same interface as
+:class:`~repro.energy.traces.HarvestTrace` but replays a caller-given
+sequence of per-period energy budgets (as fractions of capacity).  This
+turns "what happens if power dies right there?" into a deterministic,
+replayable experiment — used for debugging, regression cases, and the
+failure-boundary tests.
+"""
+
+from repro.energy.traces import PeriodConditions
+
+
+class ScriptedTrace:
+    """Replays an explicit list of period budget fractions.
+
+    Parameters
+    ----------
+    budgets:
+        Budget fraction (0 < f <= 1) per active period, in order.
+    repeat_last:
+        When the script runs out: if True (default), keep replaying the
+        final budget forever; if False, raise — useful to assert a run
+        finishes within the scripted schedule.
+    env_voltage:
+        Constant observable environment value handed to policies.
+    """
+
+    def __init__(self, budgets, repeat_last=True, env_voltage=0.5):
+        budgets = list(budgets)
+        if not budgets:
+            raise ValueError("scripted trace needs at least one budget")
+        for fraction in budgets:
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError(f"budget fraction out of range: {fraction}")
+        self.budgets = budgets
+        self.repeat_last = repeat_last
+        self.env_voltage = env_voltage
+        self.periods_served = 0
+
+    def next_period(self):
+        index = self.periods_served
+        if index >= len(self.budgets):
+            if not self.repeat_last:
+                raise RuntimeError(
+                    f"scripted trace exhausted after {len(self.budgets)} periods"
+                )
+            index = len(self.budgets) - 1
+        self.periods_served += 1
+        return PeriodConditions(
+            env_voltage=self.env_voltage,
+            budget_fraction=self.budgets[index],
+            recharge_cycles=10_000,
+        )
+
+
+def trace_from_csv(path, column=0, repeat_last=True):
+    """Build a :class:`ScriptedTrace` from a CSV file of budget fractions.
+
+    Lets users replay their own recorded harvesting conditions: one row
+    per active period, ``column`` selecting the budget-fraction field.
+    Blank lines and ``#`` comments are skipped.
+    """
+    budgets = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split(",")
+            budgets.append(float(fields[column]))
+    return ScriptedTrace(budgets, repeat_last=repeat_last)

@@ -1,0 +1,65 @@
+"""TinyRISC instruction set architecture.
+
+TinyRISC is a 32-bit load/store RISC ISA that stands in for the ARM
+Thumb ISA executed by the Cortex M0+ in the NvMR paper.  The paper's
+mechanisms (idempotency-violation detection and NVM renaming) operate on
+the *memory reference stream*, so any in-order ISA with word/byte loads
+and stores through a write-back cache reproduces the same persist
+dependencies.  TinyRISC keeps the Thumb-like flavour: 16 registers
+(``sp`` = r13, ``lr`` = r14), NZCV condition flags set by compares, and a
+fixed 32-bit encoding.
+
+Public surface:
+
+* :class:`~repro.isa.instructions.Opcode` — the opcode enumeration.
+* :class:`~repro.isa.instructions.Instruction` — a decoded instruction.
+* :mod:`~repro.isa.encoding` — binary encode/decode plus a disassembler.
+* :mod:`~repro.isa.registers` — register names/aliases and bit helpers.
+"""
+
+from repro.isa.errors import EncodingError, IsaError
+from repro.isa.instructions import (
+    ALU_IMM_OPS,
+    ALU_REG_OPS,
+    BRANCH_OPS,
+    LOAD_OPS,
+    MEM_OPS,
+    STORE_OPS,
+    Instruction,
+    Opcode,
+    base_cycles,
+)
+from repro.isa.registers import (
+    FP,
+    LR,
+    NUM_REGS,
+    SP,
+    reg_name,
+    s32,
+    u32,
+)
+from repro.isa.encoding import decode, disassemble, encode
+
+__all__ = [
+    "ALU_IMM_OPS",
+    "ALU_REG_OPS",
+    "BRANCH_OPS",
+    "EncodingError",
+    "FP",
+    "Instruction",
+    "IsaError",
+    "LOAD_OPS",
+    "LR",
+    "MEM_OPS",
+    "NUM_REGS",
+    "Opcode",
+    "SP",
+    "STORE_OPS",
+    "base_cycles",
+    "decode",
+    "disassemble",
+    "encode",
+    "reg_name",
+    "s32",
+    "u32",
+]

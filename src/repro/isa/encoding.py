@@ -1,0 +1,173 @@
+"""Binary encoding, decoding and disassembly of TinyRISC instructions.
+
+Encoding layout (32-bit words):
+
+========================  =============================================
+Format                    Fields (msb .. lsb)
+========================  =============================================
+ALU reg / LDRR / STRR     op[31:26] rd[25:22] ra[21:18] rb[17:14] 0
+ALU imm / LDR / STR       op[31:26] rd[25:22] ra[21:18] imm14[13:0]
+MOVW / MOVT               op[31:26] rd[25:22] 0[21:16] imm16[15:0]
+MOV / MVN / BX            op[31:26] rd[25:22] ra[21:18] 0
+CMP                       op[31:26] 0 ra[21:18] rb[17:14] 0
+CMPI                      op[31:26] 0 ra[21:18] imm14[13:0]
+B<cond> / BL              op[31:26] imm26[25:0] (signed word offset)
+NOP / HALT                op[31:26] 0
+========================  =============================================
+
+Immediates are two's-complement within their field except MOVW/MOVT,
+whose 16-bit literal is unsigned.
+"""
+
+from repro.isa.errors import EncodingError
+from repro.isa.instructions import (
+    ALU_IMM_OPS,
+    ALU_REG_OPS,
+    BRANCH_OPS,
+    Instruction,
+    Opcode,
+)
+from repro.isa.registers import reg_name
+
+IMM14_MIN = -(1 << 13)
+IMM14_MAX = (1 << 13) - 1
+IMM26_MIN = -(1 << 25)
+IMM26_MAX = (1 << 25) - 1
+
+_REG3_OPS = ALU_REG_OPS | {Opcode.LDRR, Opcode.LDRBR, Opcode.STRR, Opcode.STRBR}
+_IMM14_OPS = ALU_IMM_OPS | {Opcode.LDR, Opcode.LDRB, Opcode.STR, Opcode.STRB}
+_JUMP_OPS = BRANCH_OPS | {Opcode.BL}
+
+
+def _check_reg(value, field):
+    if not 0 <= value < 16:
+        raise EncodingError(f"{field} out of range: {value}")
+    return value
+
+
+def _field_imm(value, lo, hi, bits):
+    if not lo <= value <= hi:
+        raise EncodingError(f"immediate {value} does not fit {bits} signed bits")
+    return value & ((1 << bits) - 1)
+
+
+def encode(instr):
+    """Encode a decoded :class:`Instruction` into its 32-bit word."""
+    op = instr.op
+    word = int(op) << 26
+    if op in _REG3_OPS:
+        word |= _check_reg(instr.rd, "rd") << 22
+        word |= _check_reg(instr.ra, "ra") << 18
+        word |= _check_reg(instr.rb, "rb") << 14
+    elif op in _IMM14_OPS:
+        word |= _check_reg(instr.rd, "rd") << 22
+        word |= _check_reg(instr.ra, "ra") << 18
+        word |= _field_imm(instr.imm, IMM14_MIN, IMM14_MAX, 14)
+    elif op in (Opcode.MOVW, Opcode.MOVT):
+        word |= _check_reg(instr.rd, "rd") << 22
+        if not 0 <= instr.imm <= 0xFFFF:
+            raise EncodingError(f"MOVW/MOVT literal out of range: {instr.imm}")
+        word |= instr.imm
+    elif op in (Opcode.MOV, Opcode.MVN):
+        word |= _check_reg(instr.rd, "rd") << 22
+        word |= _check_reg(instr.ra, "ra") << 18
+    elif op is Opcode.BX:
+        word |= _check_reg(instr.ra, "ra") << 18
+    elif op is Opcode.CMP:
+        word |= _check_reg(instr.ra, "ra") << 18
+        word |= _check_reg(instr.rb, "rb") << 14
+    elif op is Opcode.CMPI:
+        word |= _check_reg(instr.ra, "ra") << 18
+        word |= _field_imm(instr.imm, IMM14_MIN, IMM14_MAX, 14)
+    elif op in _JUMP_OPS:
+        word |= _field_imm(instr.imm, IMM26_MIN, IMM26_MAX, 26)
+    elif op in (Opcode.NOP, Opcode.HALT):
+        pass
+    else:  # pragma: no cover - exhaustive over Opcode
+        raise EncodingError(f"unhandled opcode: {op}")
+    return word
+
+
+def _sext(value, bits):
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def decode(word):
+    """Decode a 32-bit word into an :class:`Instruction`."""
+    if not 0 <= word <= 0xFFFFFFFF:
+        raise EncodingError(f"not a 32-bit word: {word}")
+    op_num = word >> 26
+    try:
+        op = Opcode(op_num)
+    except ValueError:
+        raise EncodingError(f"unknown opcode field: {op_num}") from None
+    rd = (word >> 22) & 0xF
+    ra = (word >> 18) & 0xF
+    rb = (word >> 14) & 0xF
+    if op in _REG3_OPS:
+        return Instruction(op, rd=rd, ra=ra, rb=rb)
+    if op in _IMM14_OPS:
+        return Instruction(op, rd=rd, ra=ra, imm=_sext(word, 14))
+    if op in (Opcode.MOVW, Opcode.MOVT):
+        return Instruction(op, rd=rd, imm=word & 0xFFFF)
+    if op in (Opcode.MOV, Opcode.MVN):
+        return Instruction(op, rd=rd, ra=ra)
+    if op is Opcode.BX:
+        return Instruction(op, ra=ra)
+    if op is Opcode.CMP:
+        return Instruction(op, ra=ra, rb=rb)
+    if op is Opcode.CMPI:
+        return Instruction(op, ra=ra, imm=_sext(word, 14))
+    if op in _JUMP_OPS:
+        return Instruction(op, imm=_sext(word, 26))
+    return Instruction(op)
+
+
+#: Opcode -> assembler mnemonic where they differ (the assembler
+#: auto-selects immediate/register forms from the operand shapes, so
+#: disassembly must emit the canonical base mnemonic to round-trip).
+_MNEMONICS = {op: op.name.lower()[:-1] for op in ALU_IMM_OPS}  # addi -> add
+_MNEMONICS.update(
+    {
+        Opcode.CMPI: "cmp",
+        Opcode.LDRR: "ldr",
+        Opcode.LDRBR: "ldrb",
+        Opcode.STRR: "str",
+        Opcode.STRBR: "strb",
+    }
+)
+
+
+def disassemble(instr):
+    """Render an :class:`Instruction` as canonical assembly text.
+
+    The output reassembles to the identical instruction (property-
+    tested), except PC-relative branches, whose targets are rendered as
+    relative offsets (``. + n``) since a lone instruction has no label
+    context.
+    """
+    op = instr.op
+    name = _MNEMONICS.get(op, op.name.lower())
+    rd, ra, rb = instr.rd, instr.ra, instr.rb
+    if op in ALU_REG_OPS:
+        return f"{name} {reg_name(rd)}, {reg_name(ra)}, {reg_name(rb)}"
+    if op in ALU_IMM_OPS:
+        return f"{name} {reg_name(rd)}, {reg_name(ra)}, #{instr.imm}"
+    if op in (Opcode.MOV, Opcode.MVN):
+        return f"{name} {reg_name(rd)}, {reg_name(ra)}"
+    if op in (Opcode.MOVW, Opcode.MOVT):
+        return f"{name} {reg_name(rd)}, #{instr.imm}"
+    if op is Opcode.CMP:
+        return f"{name} {reg_name(ra)}, {reg_name(rb)}"
+    if op is Opcode.CMPI:
+        return f"{name} {reg_name(ra)}, #{instr.imm}"
+    if op in (Opcode.LDR, Opcode.LDRB, Opcode.STR, Opcode.STRB):
+        return f"{name} {reg_name(rd)}, [{reg_name(ra)}, #{instr.imm}]"
+    if op in (Opcode.LDRR, Opcode.LDRBR, Opcode.STRR, Opcode.STRBR):
+        return f"{name} {reg_name(rd)}, [{reg_name(ra)}, {reg_name(rb)}]"
+    if op in BRANCH_OPS or op is Opcode.BL:
+        return f"{name} . + {instr.imm}"
+    if op is Opcode.BX:
+        return f"{name} {reg_name(ra)}"
+    return name

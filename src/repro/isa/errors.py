@@ -1,0 +1,14 @@
+"""Exception types raised by the TinyRISC ISA layer."""
+
+
+class IsaError(Exception):
+    """Base class for all ISA-level errors."""
+
+
+class EncodingError(IsaError):
+    """An instruction could not be encoded or decoded.
+
+    Raised when a field is out of range (e.g. an immediate that does not
+    fit the 14-bit signed slot) or when a word does not decode to any
+    known opcode.
+    """

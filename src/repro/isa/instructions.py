@@ -1,0 +1,215 @@
+"""Opcode definitions and the decoded :class:`Instruction` form.
+
+The simulator executes *decoded* instructions (plain Python objects)
+rather than re-decoding 32-bit words every cycle; the binary encoding in
+:mod:`repro.isa.encoding` exists so that programs occupy a realistic code
+footprint in the NVM address map and so encode/decode can be
+round-trip-tested.
+"""
+
+from enum import IntEnum, unique
+
+
+@unique
+class Opcode(IntEnum):
+    """All TinyRISC opcodes.
+
+    The numeric values are the 6-bit opcode field of the binary encoding
+    and must therefore stay stable.
+    """
+
+    # Three-register ALU operations: rd = ra OP rb
+    ADD = 0
+    SUB = 1
+    RSB = 2
+    MUL = 3
+    AND = 4
+    ORR = 5
+    EOR = 6
+    LSL = 7
+    LSR = 8
+    ASR = 9
+    SDIV = 10
+    UDIV = 11
+    SREM = 12
+
+    # Register-immediate ALU operations: rd = ra OP imm
+    ADDI = 13
+    SUBI = 14
+    RSBI = 15
+    MULI = 16
+    ANDI = 17
+    ORRI = 18
+    EORI = 19
+    LSLI = 20
+    LSRI = 21
+    ASRI = 22
+
+    # Moves
+    MOV = 23   # rd = ra
+    MVN = 24   # rd = ~ra
+    MOVW = 25  # rd = imm16 (zero-extended)
+    MOVT = 26  # rd = (rd & 0xFFFF) | (imm16 << 16)
+
+    # Compares (set NZCV flags)
+    CMP = 27   # flags(ra - rb)
+    CMPI = 28  # flags(ra - imm)
+
+    # Loads / stores.  For stores, the source register travels in the
+    # ``rd`` field of the encoding.
+    LDR = 29    # rd = mem32[ra + imm]
+    LDRR = 30   # rd = mem32[ra + rb]
+    LDRB = 31   # rd = mem8[ra + imm] (zero-extended)
+    LDRBR = 32  # rd = mem8[ra + rb]
+    STR = 33    # mem32[ra + imm] = rd
+    STRR = 34   # mem32[ra + rb] = rd
+    STRB = 35   # mem8[ra + imm] = rd & 0xFF
+    STRBR = 36  # mem8[ra + rb] = rd & 0xFF
+
+    # Branches.  ``imm`` holds a signed word offset relative to the next
+    # instruction; the assembler resolves labels into it.
+    B = 37
+    BEQ = 38
+    BNE = 39
+    BLT = 40   # signed <
+    BGE = 41   # signed >=
+    BGT = 42   # signed >
+    BLE = 43   # signed <=
+    BLO = 44   # unsigned <
+    BHS = 45   # unsigned >=
+    BHI = 46   # unsigned >
+    BLS = 47   # unsigned <=
+    BL = 48    # call: lr = return address, pc = target
+    BX = 49    # indirect jump: pc = ra (used for returns via lr)
+
+    # Miscellaneous
+    NOP = 50
+    HALT = 51
+
+
+#: ALU operations taking two source registers.
+ALU_REG_OPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.RSB,
+        Opcode.MUL,
+        Opcode.AND,
+        Opcode.ORR,
+        Opcode.EOR,
+        Opcode.LSL,
+        Opcode.LSR,
+        Opcode.ASR,
+        Opcode.SDIV,
+        Opcode.UDIV,
+        Opcode.SREM,
+    }
+)
+
+#: ALU operations taking a register and an immediate.
+ALU_IMM_OPS = frozenset(
+    {
+        Opcode.ADDI,
+        Opcode.SUBI,
+        Opcode.RSBI,
+        Opcode.MULI,
+        Opcode.ANDI,
+        Opcode.ORRI,
+        Opcode.EORI,
+        Opcode.LSLI,
+        Opcode.LSRI,
+        Opcode.ASRI,
+    }
+)
+
+LOAD_OPS = frozenset({Opcode.LDR, Opcode.LDRR, Opcode.LDRB, Opcode.LDRBR})
+STORE_OPS = frozenset({Opcode.STR, Opcode.STRR, Opcode.STRB, Opcode.STRBR})
+MEM_OPS = LOAD_OPS | STORE_OPS
+
+#: Conditional and unconditional PC-relative branches (excludes BL/BX).
+BRANCH_OPS = frozenset(
+    {
+        Opcode.B,
+        Opcode.BEQ,
+        Opcode.BNE,
+        Opcode.BLT,
+        Opcode.BGE,
+        Opcode.BGT,
+        Opcode.BLE,
+        Opcode.BLO,
+        Opcode.BHS,
+        Opcode.BHI,
+        Opcode.BLS,
+    }
+)
+
+# Base cycle counts on the 3-stage in-order pipeline, mirroring the
+# Cortex M0+ (single-cycle ALU and multiply; no hardware divider, so
+# divide costs a software-division-like latency; loads/stores take an
+# extra data-phase cycle, with any cache/NVM latency added on top by the
+# memory system).
+_DIV_CYCLES = 18
+_MEM_BASE_CYCLES = 2
+
+_BASE_CYCLES = {op: 1 for op in Opcode}
+_BASE_CYCLES.update({op: _MEM_BASE_CYCLES for op in MEM_OPS})
+_BASE_CYCLES.update(
+    {Opcode.SDIV: _DIV_CYCLES, Opcode.UDIV: _DIV_CYCLES, Opcode.SREM: _DIV_CYCLES}
+)
+# A taken branch flushes the 3-stage pipeline: +1 cycle, applied by the
+# core at execution time.  BL/BX always redirect fetch.
+_BASE_CYCLES.update({Opcode.BL: 2, Opcode.BX: 2})
+
+#: Extra cycles charged when a PC-relative branch is taken.
+TAKEN_BRANCH_PENALTY = 1
+
+
+def base_cycles(op):
+    """Return the pipeline-base cycle cost of ``op`` (memory latency and
+    taken-branch penalties are added by the core/memory system)."""
+    return _BASE_CYCLES[op]
+
+
+class Instruction:
+    """A decoded TinyRISC instruction.
+
+    Attributes
+    ----------
+    op:
+        The :class:`Opcode`.
+    rd, ra, rb:
+        Register indices.  Unused fields are 0.  For stores, ``rd`` is
+        the *source* register.
+    imm:
+        Signed immediate.  For branches this is the resolved signed word
+        offset relative to the *next* instruction; for MOVW/MOVT it is an
+        unsigned 16-bit literal.
+    """
+
+    __slots__ = ("op", "rd", "ra", "rb", "imm")
+
+    def __init__(self, op, rd=0, ra=0, rb=0, imm=0):
+        self.op = op
+        self.rd = rd
+        self.ra = ra
+        self.rb = rb
+        self.imm = imm
+
+    def __eq__(self, other):
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return (
+            self.op == other.op
+            and self.rd == other.rd
+            and self.ra == other.ra
+            and self.rb == other.rb
+            and self.imm == other.imm
+        )
+
+    def __hash__(self):
+        return hash((self.op, self.rd, self.ra, self.rb, self.imm))
+
+    def __repr__(self):
+        from repro.isa.encoding import disassemble
+
+        return f"Instruction({disassemble(self)!r})"

@@ -1,0 +1,50 @@
+"""Register file conventions and 32-bit integer helpers for TinyRISC.
+
+TinyRISC has 16 general-purpose registers.  By convention (mirroring the
+AAPCS roles used on Cortex M0+):
+
+* ``r0``–``r3``   argument / scratch registers (``r0`` holds return values)
+* ``r4``–``r10``  callee-saved temporaries
+* ``r11``         frame pointer (``fp``)
+* ``r12``         assembler/compiler scratch
+* ``r13``         stack pointer (``sp``)
+* ``r14``         link register (``lr``)
+* ``r15``         reserved (the PC is architecturally separate in TinyRISC)
+
+All arithmetic is 32-bit two's complement.  :func:`u32` and :func:`s32`
+convert between Python's unbounded integers and the wrapped 32-bit views.
+"""
+
+NUM_REGS = 16
+
+FP = 11
+SCRATCH = 12
+SP = 13
+LR = 14
+
+_ALIASES = {FP: "fp", SP: "sp", LR: "lr"}
+
+#: Mapping from register *names* (including aliases) to indices, used by
+#: the assembler's operand parser.
+REG_NAMES = {f"r{i}": i for i in range(NUM_REGS)}
+REG_NAMES.update({alias: idx for idx, alias in _ALIASES.items()})
+
+_MASK32 = 0xFFFFFFFF
+
+
+def reg_name(index):
+    """Return the canonical printable name for register ``index``."""
+    if not 0 <= index < NUM_REGS:
+        raise ValueError(f"register index out of range: {index}")
+    return _ALIASES.get(index, f"r{index}")
+
+
+def u32(value):
+    """Wrap ``value`` into an unsigned 32-bit integer (0 .. 2**32-1)."""
+    return value & _MASK32
+
+
+def s32(value):
+    """Wrap ``value`` into a signed 32-bit integer (-2**31 .. 2**31-1)."""
+    value &= _MASK32
+    return value - 0x100000000 if value & 0x80000000 else value

@@ -1,0 +1,34 @@
+"""Memory substrates: NVM flash, the write-back data cache, the
+read/write-dominance bloom filters, and NvMR's renaming structures.
+
+These are the hardware structures of Figure 6 in the paper:
+
+* :class:`~repro.mem.nvm.NvmFlash` — the 2 MB flash with per-location
+  wear counters and a double-buffered checkpoint slot.
+* :class:`~repro.mem.cache.WriteBackCache` — the 256 B, 8-way, 16 B-block
+  write-back write-allocate data cache.
+* :class:`~repro.mem.bloom.GlobalBloomFilter` (GBF) and
+  :class:`~repro.mem.bloom.LocalBloomFilter` (LBF) — track
+  read-dominated cache blocks / words within a block.
+* :class:`~repro.mem.maptable.MapTable`,
+  :class:`~repro.mem.maptable.MapTableCache`,
+  :class:`~repro.mem.maptable.FreeList` — NvMR's renaming state.
+"""
+
+from repro.mem.bloom import GlobalBloomFilter, LocalBloomFilter, WordState
+from repro.mem.cache import CacheLine, WriteBackCache
+from repro.mem.maptable import FreeList, MapTable, MapTableCache, MapTableEntry
+from repro.mem.nvm import NvmFlash
+
+__all__ = [
+    "CacheLine",
+    "FreeList",
+    "GlobalBloomFilter",
+    "LocalBloomFilter",
+    "MapTable",
+    "MapTableCache",
+    "MapTableEntry",
+    "NvmFlash",
+    "WordState",
+    "WriteBackCache",
+]

@@ -1,0 +1,95 @@
+"""Read/write-dominance tracking: the global and local bloom filters.
+
+The paper (Section 4.1) tracks dominance at two granularities:
+
+* The **LBF** (local bloom filter) holds a 2-bit state per *word* of a
+  cache block: Unknown (00), Read-dominated (01) or Write-dominated
+  (10).  The block's *composite state* is the OR of the LSBs of the word
+  states — 1 iff any word is read-dominated.
+* The **GBF** (global bloom filter) logs the composite state of blocks
+  when they are *evicted*, so that a later refetch within the same
+  intermittent section remembers that the block was read-dominated.
+  With 8 one-bit entries it is tiny and aliases heavily; aliasing only
+  produces false "read-dominated" answers, which is conservative (extra
+  renames/backups, never a correctness loss).
+
+Both filters are reset on every backup — dominance is a property of the
+current intermittent code section only.
+"""
+
+
+class WordState:
+    """Per-word LBF states (values match the paper's encoding)."""
+
+    UNKNOWN = 0
+    READ = 1  # read-dominated: 01
+    WRITE = 2  # write-dominated: 10
+
+
+class LocalBloomFilter:
+    """Per-cache-line word dominance states (4 two-bit entries)."""
+
+    __slots__ = ("states",)
+
+    def __init__(self, words_per_block):
+        self.states = [WordState.UNKNOWN] * words_per_block
+
+    def on_read(self, word_index):
+        """First access wins: an Unknown word read becomes Read-dominated."""
+        if self.states[word_index] == WordState.UNKNOWN:
+            self.states[word_index] = WordState.READ
+
+    def on_write(self, word_index):
+        """First access wins: an Unknown word written becomes Write-dominated."""
+        if self.states[word_index] == WordState.UNKNOWN:
+            self.states[word_index] = WordState.WRITE
+
+    def mark_all_read(self):
+        """Conservatively mark every word read-dominated (GBF hit on refetch)."""
+        self.states = [WordState.READ] * len(self.states)
+
+    def reset(self):
+        self.states = [WordState.UNKNOWN] * len(self.states)
+
+    @property
+    def composite(self):
+        """1 iff any constituent word is read-dominated (OR of state LSBs)."""
+        for state in self.states:
+            if state & 1:
+                return 1
+        return 0
+
+
+class GlobalBloomFilter:
+    """A tiny bloom filter logging read-dominated *evicted* blocks.
+
+    ``num_bits`` one-bit entries, single multiply-shift hash.  A set bit
+    means "some evicted block hashing here was read-dominated"; lookups
+    may alias (false positives), which is safe-conservative.
+    """
+
+    _KNUTH = 2654435761
+
+    def __init__(self, num_bits=8):
+        if num_bits <= 0:
+            raise ValueError("GBF needs at least one bit")
+        self.num_bits = num_bits
+        self.bits = 0
+        self.insertions = 0
+
+    def _index(self, block_addr):
+        return ((block_addr * self._KNUTH) >> 16) % self.num_bits
+
+    def log_eviction(self, block_addr, composite):
+        """Record the composite state of an evicted block."""
+        if composite:
+            self.bits |= 1 << self._index(block_addr)
+            self.insertions += 1
+
+    def was_read_dominated(self, block_addr):
+        """True if the block *may* have been evicted read-dominated."""
+        return bool(self.bits & (1 << self._index(block_addr)))
+
+    def reset(self):
+        """Clear on backup: a new intermittent section begins."""
+        self.bits = 0

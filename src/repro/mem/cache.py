@@ -1,0 +1,168 @@
+"""The write-back, write-allocate (WBWA) set-associative data cache.
+
+Table 2 configuration: 256 B, 8-way, 16 B blocks, LRU, 1-cycle hits.
+The cache is *volatile* — its contents vanish at power failure — which
+is exactly why the intermittent architectures care about when dirty
+blocks are persisted (evictions and backups).
+
+Replacement policy decisions (victim choice) live here; *handling* the
+victim (violation detection, renaming, the actual NVM write-back) is the
+architecture's job, so :meth:`WriteBackCache.allocate` hands the victim
+line back to the caller before reusing it.
+"""
+
+
+class CacheLine:
+    """One cache line.
+
+    ``meta`` is reserved for the owning architecture (the intermittent
+    architectures hang the line's LBF off it).
+    """
+
+    __slots__ = ("valid", "dirty", "block_addr", "data", "meta")
+
+    def __init__(self, block_size):
+        self.valid = False
+        self.dirty = False
+        self.block_addr = 0
+        self.data = bytearray(block_size)
+        self.meta = None
+
+    def invalidate(self):
+        self.valid = False
+        self.dirty = False
+        self.meta = None
+
+
+class WriteBackCache:
+    """A WBWA set-associative cache with true-LRU replacement."""
+
+    def __init__(self, size_bytes=256, assoc=8, block_size=16):
+        if size_bytes % (assoc * block_size):
+            raise ValueError("cache size must be a multiple of assoc * block")
+        if block_size % 4:
+            raise ValueError("block size must be a word multiple")
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.block_size = block_size
+        self.num_sets = size_bytes // (assoc * block_size)
+        self.words_per_block = block_size // 4
+        # Each set is a list of lines ordered most-recently-used first.
+        self._sets = [
+            [CacheLine(block_size) for _ in range(assoc)] for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # --------------------------------------------------------- geometry
+    def block_address(self, addr):
+        """The aligned block address containing byte ``addr``."""
+        return addr & ~(self.block_size - 1)
+
+    def word_index(self, addr):
+        """Index of the word within its block."""
+        return (addr & (self.block_size - 1)) >> 2
+
+    def _set_for(self, block_addr):
+        return self._sets[(block_addr // self.block_size) % self.num_sets]
+
+    # ----------------------------------------------------------- access
+    def lookup(self, block_addr):
+        """Return the line holding ``block_addr`` (LRU-promoted), or None."""
+        lines = self._set_for(block_addr)
+        for i, line in enumerate(lines):
+            if line.valid and line.block_addr == block_addr:
+                if i:
+                    lines.insert(0, lines.pop(i))
+                self.hits += 1
+                return line
+        self.misses += 1
+        return None
+
+    def peek(self, block_addr):
+        """Like :meth:`lookup` but without stats or LRU promotion."""
+        for line in self._set_for(block_addr):
+            if line.valid and line.block_addr == block_addr:
+                return line
+        return None
+
+    def peek_victim(self, block_addr):
+        """The line :meth:`allocate` would displace for ``block_addr``.
+
+        Returns None if a free (invalid) way exists.  Architectures call
+        this *before* allocating so the victim can be written back,
+        renamed, or cleaned by a backup while it is still resident.
+        """
+        lines = self._set_for(block_addr)
+        for line in lines:
+            if not line.valid:
+                return None
+        return lines[-1]
+
+    def allocate(self, block_addr):
+        """Claim a line for ``block_addr``.
+
+        Returns ``(line, victim)`` where ``victim`` is a *detached*
+        snapshot-line of the evicted block (or None if a line was free).
+        The caller must write back / rename the victim as needed, then
+        fill ``line.data`` and set its metadata.  The returned ``line``
+        is already installed at the MRU position, valid, clean.
+        """
+        lines = self._set_for(block_addr)
+        victim = None
+        index = None
+        for i, line in enumerate(lines):
+            if not line.valid:
+                index = i
+                break
+        if index is None:
+            index = len(lines) - 1  # true LRU: last in recency order
+            old = lines[index]
+            victim = CacheLine(self.block_size)
+            victim.valid = True
+            victim.dirty = old.dirty
+            victim.block_addr = old.block_addr
+            victim.data = bytearray(old.data)
+            victim.meta = old.meta
+            self.evictions += 1
+        line = lines.pop(index)
+        line.valid = True
+        line.dirty = False
+        line.block_addr = block_addr
+        line.meta = None
+        lines.insert(0, line)
+        return line, victim
+
+    # ------------------------------------------------------- word I/O
+    def read_word(self, line, addr):
+        offset = addr & (self.block_size - 1) & ~3
+        return int.from_bytes(line.data[offset : offset + 4], "little")
+
+    def write_word(self, line, addr, value):
+        offset = addr & (self.block_size - 1) & ~3
+        line.data[offset : offset + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+        line.dirty = True
+
+    def read_byte(self, line, addr):
+        return line.data[addr & (self.block_size - 1)]
+
+    def write_byte(self, line, addr, value):
+        line.data[addr & (self.block_size - 1)] = value & 0xFF
+        line.dirty = True
+
+    # ----------------------------------------------------------- bulk
+    def dirty_lines(self):
+        """All valid dirty lines (order: set-major, MRU first)."""
+        return [
+            line for lines in self._sets for line in lines if line.valid and line.dirty
+        ]
+
+    def valid_lines(self):
+        return [line for lines in self._sets for line in lines if line.valid]
+
+    def clear(self):
+        """Power failure: all volatile contents are lost."""
+        for lines in self._sets:
+            for line in lines:
+                line.invalidate()

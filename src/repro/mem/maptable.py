@@ -1,0 +1,289 @@
+"""NvMR's renaming state: map table, map-table cache and free list.
+
+Roles (paper Section 4):
+
+* The **map table** lives in NVM and holds the *committed* mapping of
+  each renamed program block: ``tag -> old`` where ``old`` is the most
+  recently backed-up location of the block's data.  It is only mutated
+  at atomic commit points (backups and reclaims), so it needs no undo
+  machinery.
+* The **map-table cache (MTC)** is a volatile SRAM set-associative cache
+  of mappings.  A *dirty* MTC entry holds a renaming performed after the
+  last backup (``new`` differs from the committed ``old``).  Evicting a
+  dirty entry forces a backup so the NVM map table is never stale.
+* The **free list** is an NVM ring buffer of available mappings from the
+  compiler-reserved region.  Its read/write pointers are part of every
+  checkpoint: popping a mapping is only *committed* by the next backup,
+  so after a power loss the pointers revert and uncommitted mappings are
+  handed out again — matching re-execution.
+
+Free-list discipline (see DESIGN.md): only reserved-region addresses
+ever circulate through the free list.  Application home addresses are
+reclaimed in place, which makes reclamation always safe at the cost of
+requiring a worst-case-sized free list (Table 2's
+``map table + map table cache + 1`` sizing).
+"""
+
+
+class MapTableEntry:
+    """A map-table-cache entry (Figure 7's five fields).
+
+    ``valid`` is implicit (invalid entries are absent from the cache);
+    ``tag`` is the program block address; ``old`` the committed mapping;
+    ``new`` the current mapping; ``dirty`` set iff ``new`` has not been
+    committed to the NVM map table yet.
+    """
+
+    __slots__ = ("tag", "old", "new", "dirty")
+
+    def __init__(self, tag, old, new, dirty):
+        self.tag = tag
+        self.old = old
+        self.new = new
+        self.dirty = dirty
+
+    def __repr__(self):
+        flag = "dirty" if self.dirty else "clean"
+        return f"MapTableEntry({self.tag:#x}: {self.old:#x}->{self.new:#x}, {flag})"
+
+
+class MapTableCache:
+    """Volatile SRAM cache of map-table entries (set-associative, LRU)."""
+
+    def __init__(self, num_entries=512, assoc=8):
+        if num_entries % assoc:
+            raise ValueError("MTC entries must be a multiple of associativity")
+        self.num_entries = num_entries
+        self.assoc = assoc
+        self.num_sets = num_entries // assoc
+        self._sets = [[] for _ in range(self.num_sets)]  # MRU-first lists
+        self.lookups = 0
+        self.hits = 0
+
+    def _set_for(self, tag):
+        return self._sets[(tag >> 4) % self.num_sets]
+
+    def lookup(self, tag):
+        """Return the entry for ``tag`` (LRU-promoted) or None."""
+        self.lookups += 1
+        entries = self._set_for(tag)
+        for i, entry in enumerate(entries):
+            if entry.tag == tag:
+                if i:
+                    entries.insert(0, entries.pop(i))
+                self.hits += 1
+                return entry
+        return None
+
+    def peek(self, tag):
+        """Return the entry for ``tag`` without stats or LRU promotion."""
+        for entry in self._set_for(tag):
+            if entry.tag == tag:
+                return entry
+        return None
+
+    def victim_for(self, tag):
+        """The entry that inserting ``tag`` would evict (None if a way is free)."""
+        entries = self._set_for(tag)
+        if len(entries) < self.assoc:
+            return None
+        return entries[-1]
+
+    def insert(self, entry):
+        """Install ``entry`` at MRU, silently dropping a *clean* LRU victim.
+
+        The caller must have handled any dirty victim beforehand (by
+        triggering a backup, which cleans every entry).
+        """
+        entries = self._set_for(entry.tag)
+        if len(entries) >= self.assoc:
+            victim = entries.pop()
+            if victim.dirty:
+                raise RuntimeError(
+                    "dirty MTC victim must be flushed by a backup before insert"
+                )
+        entries.insert(0, entry)
+        return entry
+
+    def invalidate(self, tag):
+        """Drop the entry for ``tag`` if present (used by reclamation)."""
+        entries = self._set_for(tag)
+        for i, entry in enumerate(entries):
+            if entry.tag == tag:
+                del entries[i]
+                return entry
+        return None
+
+    def dirty_entries(self):
+        return [e for entries in self._sets for e in entries if e.dirty]
+
+    def all_entries(self):
+        return [e for entries in self._sets for e in entries]
+
+    def clean_after_backup(self):
+        """Commit semantics: every entry's mapping becomes the old mapping."""
+        for entries in self._sets:
+            for entry in entries:
+                entry.old = entry.new
+                entry.dirty = False
+
+    def clear(self):
+        """Power failure: the SRAM contents are lost."""
+        self._sets = [[] for _ in range(self.num_sets)]
+
+
+class MapTable:
+    """The committed, NVM-resident mapping table.
+
+    Only mutated at atomic commit points.  Iteration order doubles as
+    the LRU order used by reclamation (lookups refresh recency).
+    """
+
+    def __init__(self, capacity=4096):
+        self.capacity = capacity
+        self._entries = {}  # tag -> committed mapping, LRU-ordered
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, tag):
+        return tag in self._entries
+
+    @property
+    def is_full(self):
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, tag):
+        """Return the committed mapping for ``tag`` (or None), refreshing LRU."""
+        mapping = self._entries.get(tag)
+        if mapping is not None:
+            del self._entries[tag]
+            self._entries[tag] = mapping
+        return mapping
+
+    def peek(self, tag):
+        """Return the committed mapping without refreshing LRU order."""
+        return self._entries.get(tag)
+
+    def commit(self, tag, mapping):
+        """Commit ``tag -> mapping`` (backup path).  Returns the previous
+        committed mapping, or None if the tag was absent."""
+        previous = self._entries.pop(tag, None)
+        if previous is None and len(self._entries) >= self.capacity:
+            raise RuntimeError("map table overflow; caller must reclaim first")
+        self._entries[tag] = mapping
+        return previous
+
+    def remove(self, tag):
+        """Remove a committed entry (reclamation).  Returns its mapping."""
+        return self._entries.pop(tag, None)
+
+    def lru_tag(self):
+        """The least-recently-used committed tag (reclamation victim)."""
+        return next(iter(self._entries), None)
+
+    def items(self):
+        return list(self._entries.items())
+
+
+class FreeList:
+    """NVM ring buffer of available reserved-region mappings.
+
+    The slot array is NVM (pushes persist immediately — pushes only ever
+    happen at atomic commit points); the read/write pointers are
+    volatile between commits and revert to the committed pair on power
+    failure, exactly like the paper's "read and write pointers ... are
+    also saved" at backup.
+    """
+
+    def __init__(self, mappings, mode="fifo"):
+        self._slots = list(mappings)
+        self._size = len(self._slots)
+        if self._size == 0:
+            raise ValueError("free list cannot be empty")
+        if mode not in ("fifo", "lifo"):
+            raise ValueError(f"unknown free-list mode: {mode!r}")
+        #: "fifo" is the paper's queue (pop head, push tail), which
+        #: round-robins mappings through the reserved region and thus
+        #: wear-levels it.  "lifo" (pop the most recently pushed) exists
+        #: for the wear ablation: it reuses the hottest mapping first.
+        self.mode = mode
+        self.read_idx = 0
+        self.write_idx = 0  # one past the last occupied slot (ring)
+        self.count = self._size
+        self._committed = (0, 0, self._size)
+        self.pops = 0
+        self.pushes = 0
+
+    def __len__(self):
+        return self.count
+
+    @property
+    def is_empty(self):
+        return self.count == 0
+
+    def pop(self):
+        """Take a mapping (uncommitted until the next backup commit).
+
+        FIFO pops the head; LIFO pops the most recently pushed slot
+        (the tail), which is only well-defined while no uncommitted
+        pops are outstanding *across* a push — NvMR's usage (pushes
+        only at commit points) satisfies this.
+        """
+        if self.count == 0:
+            raise RuntimeError("free list empty")
+        if self.mode == "lifo":
+            self.write_idx = (self.write_idx - 1) % self._size
+            mapping = self._slots[self.write_idx]
+        else:
+            mapping = self._slots[self.read_idx]
+            self.read_idx = (self.read_idx + 1) % self._size
+        self.count -= 1
+        self.pops += 1
+        return mapping
+
+    def push(self, mapping):
+        """Return a mapping to the tail.  Only call at commit points.
+
+        Refuses to overwrite a slot still covered by the committed
+        window (it may hold an uncommitted pop that a power failure
+        would hand out again): pushes are only legal for mappings that
+        are committed *out* of the list, which guarantees the committed
+        window is not full.
+        """
+        if self.count >= self._size:
+            raise RuntimeError("free list overflow")
+        committed_read, _, committed_count = self._committed
+        uncommitted_pops = (self.read_idx - committed_read) % self._size
+        if uncommitted_pops + self.count >= self._size:
+            raise RuntimeError(
+                "free list push would clobber an uncommitted pop slot"
+            )
+        self._slots[self.write_idx] = mapping
+        self.write_idx = (self.write_idx + 1) % self._size
+        self.count += 1
+        self.pushes += 1
+
+    def commit(self):
+        """Persist both pointers (backup commit: every outstanding pop is
+        now referenced by a committed map-table entry)."""
+        self._committed = (self.read_idx, self.write_idx, self.count)
+
+    def commit_push(self):
+        """Persist only the write pointer (reclaim commit).
+
+        Outstanding *pops* stay uncommitted: they belong to dirty
+        map-table-cache entries that the next backup will commit.  If
+        power fails first, the read pointer reverts and those mappings
+        are handed out again — no leak.
+        """
+        if self.mode == "lifo":
+            raise RuntimeError(
+                "reclamation (commit_push) requires the fifo free list"
+            )
+        committed_read, _, committed_count = self._committed
+        self._committed = (committed_read, self.write_idx, committed_count + 1)
+
+    def restore(self):
+        """Power failure: pointers revert to the last committed pair."""
+        self.read_idx, self.write_idx, self.count = self._committed

@@ -1,0 +1,25 @@
+"""minicc — a small C-subset compiler targeting TinyRISC.
+
+The paper compiles MiBench/PERFECT C benchmarks with GCC for ARM Thumb.
+minicc fills that role: it compiles a C subset — ``int``/``char``
+scalars, arrays, single-level pointers, functions with arbitrary
+arities, full expression/control-flow syntax — into TinyRISC assembly,
+which :mod:`repro.asm` assembles into an executable
+:class:`~repro.asm.program.Program`.
+
+The code generator is a classic accumulator machine with stack
+temporaries and frame-pointer-relative locals.  That is deliberately
+GCC--O0-flavoured: stack traffic (spills, argument passing, locals)
+flows through the write-back data cache exactly like real compiled
+embedded code, and is a major source of the WAR idempotency violations
+the paper studies.
+
+Pipeline: :mod:`lexer` -> :mod:`parser` (AST in :mod:`ast_nodes`) ->
+:mod:`sema` (symbols + types) -> :mod:`codegen` (assembly text) ->
+:func:`compile_minic`.
+"""
+
+from repro.minicc.compiler import compile_minic, compile_to_asm
+from repro.minicc.errors import MiniCError
+
+__all__ = ["MiniCError", "compile_minic", "compile_to_asm"]

@@ -1,0 +1,221 @@
+"""AST node and type definitions for mini-C."""
+
+from dataclasses import dataclass, field
+
+
+# ----------------------------------------------------------------- types
+@dataclass(frozen=True)
+class Type:
+    """A mini-C type: int, char, void, or a single-level pointer/array."""
+
+    base: str  # "int" | "char" | "void"
+    is_pointer: bool = False
+    array_size: int = None  # None unless an array declaration
+
+    @property
+    def is_array(self):
+        return self.array_size is not None
+
+    def element_size(self):
+        """Size in bytes of the pointed-to / element type."""
+        return 1 if self.base == "char" else 4
+
+    def decayed(self):
+        """Array-to-pointer decay."""
+        if self.is_array:
+            return Type(self.base, is_pointer=True)
+        return self
+
+    def __str__(self):
+        text = self.base
+        if self.is_pointer:
+            text += "*"
+        if self.is_array:
+            text += f"[{self.array_size}]"
+        return text
+
+
+INT = Type("int")
+CHAR = Type("char")
+VOID = Type("void")
+
+
+# ----------------------------------------------------- expression nodes
+@dataclass
+class Node:
+    pass
+
+
+@dataclass
+class NumberLit(Node):
+    value: int
+    line: int = 0
+
+
+@dataclass
+class StringLit(Node):
+    value: str
+    line: int = 0
+    label: str = None  # assigned by sema (anonymous data object)
+
+
+@dataclass
+class VarRef(Node):
+    name: str
+    line: int = 0
+    symbol: object = None  # resolved by sema
+
+
+@dataclass
+class Unary(Node):
+    op: str  # "-" "!" "~" "*" "&"
+    operand: Node
+    line: int = 0
+
+
+@dataclass
+class Binary(Node):
+    op: str
+    left: Node
+    right: Node
+    line: int = 0
+
+
+@dataclass
+class Assign(Node):
+    target: Node  # lvalue: VarRef / Unary("*") / Index
+    value: Node
+    line: int = 0
+
+
+@dataclass
+class Index(Node):
+    base: Node
+    index: Node
+    line: int = 0
+
+
+@dataclass
+class Call(Node):
+    name: str
+    args: list
+    line: int = 0
+    func: object = None  # resolved by sema
+
+
+@dataclass
+class Conditional(Node):
+    """The ternary ``cond ? a : b``."""
+
+    cond: Node
+    then: Node
+    other: Node
+    line: int = 0
+
+
+# ------------------------------------------------------ statement nodes
+@dataclass
+class ExprStmt(Node):
+    expr: Node
+    line: int = 0
+
+
+@dataclass
+class Declaration(Node):
+    type: Type
+    name: str
+    init: Node = None  # expression, or list of NumberLit for arrays
+    line: int = 0
+    symbol: object = None
+
+
+@dataclass
+class Block(Node):
+    statements: list = field(default_factory=list)
+    line: int = 0
+    #: False for desugared multi-declaration groups (``int a, b;``),
+    #: which must not introduce a new scope.
+    scoped: bool = True
+
+
+@dataclass
+class If(Node):
+    cond: Node
+    then: Node
+    other: Node = None
+    line: int = 0
+
+
+@dataclass
+class While(Node):
+    cond: Node
+    body: Node
+    line: int = 0
+
+
+@dataclass
+class DoWhile(Node):
+    body: Node
+    cond: Node
+    line: int = 0
+
+
+@dataclass
+class For(Node):
+    init: Node  # statement or None
+    cond: Node  # expression or None
+    step: Node  # expression or None
+    body: Node
+    line: int = 0
+
+
+@dataclass
+class Return(Node):
+    value: Node = None
+    line: int = 0
+
+
+@dataclass
+class Break(Node):
+    line: int = 0
+
+
+@dataclass
+class Continue(Node):
+    line: int = 0
+
+
+# ------------------------------------------------------ top-level nodes
+@dataclass
+class Param(Node):
+    type: Type
+    name: str
+    line: int = 0
+    symbol: object = None
+
+
+@dataclass
+class Function(Node):
+    return_type: Type
+    name: str
+    params: list
+    body: Block
+    line: int = 0
+    # filled by sema / codegen
+    locals_size: int = 0
+    symbol: object = None
+
+
+@dataclass
+class GlobalVar(Node):
+    type: Type
+    name: str
+    init: object = None  # NumberLit, list of NumberLit, or str
+    line: int = 0
+    symbol: object = None
+
+
+@dataclass
+class TranslationUnit(Node):
+    globals: list = field(default_factory=list)
+    functions: list = field(default_factory=list)

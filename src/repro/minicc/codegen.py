@@ -1,0 +1,620 @@
+"""TinyRISC code generation for mini-C.
+
+A deliberately simple, GCC--O0-flavoured accumulator scheme:
+
+* every expression evaluates into ``r0``;
+* binary operations evaluate the right operand first, push it on the
+  stack, evaluate the left into ``r0``, pop the right into ``r1`` —
+  unless the right operand is a *leaf* (constant / scalar variable),
+  which is loaded straight into ``r1``;
+* locals and spilled register-parameters live at negative offsets from
+  the frame pointer; stack-passed arguments at positive offsets;
+* conditions in control flow compile to compare-and-branch without
+  materialising booleans; value contexts materialise 0/1.
+
+Calling convention (AAPCS-flavoured): first four arguments in
+``r0``-``r3``, the rest on the stack at ``[fp, #0]``, ``[fp, #4]``, …
+(the frame pointer equals the caller's stack pointer); return value in
+``r0``; ``r4``-``r11`` never hold live values across statements, so no
+callee-save traffic is needed beyond ``lr``/``fp``.
+"""
+
+from repro.minicc import ast_nodes as ast
+from repro.minicc.errors import MiniCError
+from repro.minicc.sema import REG_ARGS, WORD
+
+#: Builtin two-argument intrinsics mapping directly to opcodes with
+#: unsigned semantics (mini-C ints are otherwise signed).
+BUILTINS = {
+    "__lsr": "lsr",  # logical shift right
+    "__udiv": "udiv",
+    "__urem": None,  # synthesised: a - (a __udiv b) * b
+}
+
+#: Branch mnemonic for each comparison, and its negation.
+_CMP_BRANCH = {
+    "==": ("beq", "bne"),
+    "!=": ("bne", "beq"),
+    "<": ("blt", "bge"),
+    "<=": ("ble", "bgt"),
+    ">": ("bgt", "ble"),
+    ">=": ("bge", "blt"),
+}
+
+_BIN_OPS = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "sdiv",
+    "%": "srem",
+    "&": "and",
+    "|": "orr",
+    "^": "eor",
+    "<<": "lsl",
+    ">>": "asr",
+}
+
+
+class CodeGenerator:
+    def __init__(self, sema_result):
+        self.sema = sema_result
+        self.lines = []
+        self._label_count = 0
+        self._func = None
+        self._break_labels = []
+        self._continue_labels = []
+
+    # ---------------------------------------------------------- output
+    def emit(self, text):
+        self.lines.append(f"    {text}")
+
+    def emit_label(self, label):
+        self.lines.append(f"{label}:")
+
+    def new_label(self, hint="L"):
+        label = f".{hint}{self._label_count}"
+        self._label_count += 1
+        return label
+
+    # ------------------------------------------------------ driver
+    def generate(self):
+        self.lines.append(".text")
+        self.emit_label("_start")
+        self.emit(f"li sp, #{hex(self._layout_stack_top())}")
+        self.emit("bl fn_main")
+        self.emit("halt")
+        for func in self.sema.unit.functions:
+            self._gen_function(func)
+        self._gen_data()
+        return "\n".join(self.lines) + "\n"
+
+    def _layout_stack_top(self):
+        from repro.asm.program import STACK_TOP
+
+        return STACK_TOP
+
+    # ------------------------------------------------------- functions
+    def _gen_function(self, func):
+        self._func = func
+        info = func.symbol
+        frame = info.frame_size
+        self.lines.append("")
+        self.emit_label(info.label)
+        self.emit(f"sub sp, sp, #{frame}")
+        self.emit(f"str lr, [sp, #{frame - 4}]")
+        self.emit(f"str fp, [sp, #{frame - 8}]")
+        self.emit(f"add fp, sp, #{frame}")
+        for index, param in enumerate(func.params[:REG_ARGS]):
+            self.emit(f"str r{index}, [fp, #{param.symbol.fp_offset}]")
+        self._gen_block(func.body)
+        self.emit_label(f".ret_{func.name}")
+        self.emit(f"ldr fp, [sp, #{frame - 8}]")
+        self.emit(f"ldr lr, [sp, #{frame - 4}]")
+        self.emit(f"add sp, sp, #{frame}")
+        self.emit("ret")
+        self._func = None
+
+    # ------------------------------------------------------ statements
+    def _gen_block(self, block):
+        for stmt in block.statements:
+            self._gen_stmt(stmt)
+
+    def _gen_stmt(self, stmt):
+        if isinstance(stmt, ast.Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, ast.Declaration):
+            self._gen_declaration(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._gen_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._gen_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._gen_expr(stmt.value)
+            self.emit(f"b .ret_{self._func.name}")
+        elif isinstance(stmt, ast.Break):
+            self.emit(f"b {self._break_labels[-1]}")
+        elif isinstance(stmt, ast.Continue):
+            self.emit(f"b {self._continue_labels[-1]}")
+        else:  # pragma: no cover
+            raise MiniCError(f"unhandled statement {type(stmt).__name__}")
+
+    def _gen_declaration(self, decl):
+        symbol = decl.symbol
+        if decl.init is None:
+            return
+        if isinstance(decl.init, list):
+            elem = decl.type.element_size()
+            store = "strb" if elem == 1 else "str"
+            for i, item in enumerate(decl.init):
+                self._gen_expr(item)
+                self.emit(f"{store} r0, [fp, #{symbol.fp_offset + i * elem}]")
+        else:
+            self._gen_expr(decl.init)
+            self.emit(f"str r0, [fp, #{symbol.fp_offset}]")
+
+    def _gen_if(self, stmt):
+        label_else = self.new_label("else")
+        self._branch_if_false(stmt.cond, label_else)
+        self._gen_stmt(stmt.then)
+        if stmt.other is not None:
+            label_end = self.new_label("endif")
+            self.emit(f"b {label_end}")
+            self.emit_label(label_else)
+            self._gen_stmt(stmt.other)
+            self.emit_label(label_end)
+        else:
+            self.emit_label(label_else)
+
+    def _gen_while(self, stmt):
+        label_cond = self.new_label("while")
+        label_end = self.new_label("wend")
+        self.emit_label(label_cond)
+        self._branch_if_false(stmt.cond, label_end)
+        self._break_labels.append(label_end)
+        self._continue_labels.append(label_cond)
+        self._gen_stmt(stmt.body)
+        self._break_labels.pop()
+        self._continue_labels.pop()
+        self.emit(f"b {label_cond}")
+        self.emit_label(label_end)
+
+    def _gen_do_while(self, stmt):
+        label_top = self.new_label("do")
+        label_cond = self.new_label("docond")
+        label_end = self.new_label("dend")
+        self.emit_label(label_top)
+        self._break_labels.append(label_end)
+        self._continue_labels.append(label_cond)
+        self._gen_stmt(stmt.body)
+        self._break_labels.pop()
+        self._continue_labels.pop()
+        self.emit_label(label_cond)
+        self._branch_if_true(stmt.cond, label_top)
+        self.emit_label(label_end)
+
+    def _gen_for(self, stmt):
+        label_cond = self.new_label("for")
+        label_step = self.new_label("fstep")
+        label_end = self.new_label("fend")
+        if stmt.init is not None:
+            self._gen_stmt(stmt.init)
+        self.emit_label(label_cond)
+        if stmt.cond is not None:
+            self._branch_if_false(stmt.cond, label_end)
+        self._break_labels.append(label_end)
+        self._continue_labels.append(label_step)
+        self._gen_stmt(stmt.body)
+        self._break_labels.pop()
+        self._continue_labels.pop()
+        self.emit_label(label_step)
+        if stmt.step is not None:
+            self._gen_expr(stmt.step)
+        self.emit(f"b {label_cond}")
+        self.emit_label(label_end)
+
+    # ----------------------------------------------------- conditions
+    def _branch_if_false(self, expr, label):
+        if isinstance(expr, ast.Binary) and expr.op in _CMP_BRANCH:
+            self._gen_compare(expr)
+            self.emit(f"{_CMP_BRANCH[expr.op][1]} {label}")
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            self._branch_if_false(expr.left, label)
+            self._branch_if_false(expr.right, label)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            label_true = self.new_label("or")
+            self._branch_if_true(expr.left, label_true)
+            self._branch_if_false(expr.right, label)
+            self.emit_label(label_true)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self._branch_if_true(expr.operand, label)
+            return
+        self._gen_expr(expr)
+        self.emit("cmp r0, #0")
+        self.emit(f"beq {label}")
+
+    def _branch_if_true(self, expr, label):
+        if isinstance(expr, ast.Binary) and expr.op in _CMP_BRANCH:
+            self._gen_compare(expr)
+            self.emit(f"{_CMP_BRANCH[expr.op][0]} {label}")
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            self._branch_if_true(expr.left, label)
+            self._branch_if_true(expr.right, label)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            label_false = self.new_label("and")
+            self._branch_if_false(expr.left, label_false)
+            self._branch_if_true(expr.right, label)
+            self.emit_label(label_false)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self._branch_if_false(expr.operand, label)
+            return
+        self._gen_expr(expr)
+        self.emit("cmp r0, #0")
+        self.emit(f"bne {label}")
+
+    def _gen_compare(self, expr):
+        """Leave the flags set for ``left <op> right``."""
+        if self._is_leaf(expr.right):
+            self._gen_expr(expr.left)
+            self._load_leaf(expr.right, "r1")
+            self.emit("cmp r0, r1")
+        else:
+            self._gen_binary_operands(expr)
+            self.emit("cmp r0, r1")
+
+    # ---------------------------------------------------- expressions
+    def _gen_expr(self, expr):
+        """Evaluate ``expr`` into r0."""
+        if isinstance(expr, ast.NumberLit):
+            self._load_constant("r0", expr.value)
+        elif isinstance(expr, ast.StringLit):
+            self.emit(f"la r0, {expr.label}")
+        elif isinstance(expr, ast.VarRef):
+            self._gen_varref(expr, "r0")
+        elif isinstance(expr, ast.Unary):
+            self._gen_unary(expr)
+        elif isinstance(expr, ast.Binary):
+            self._gen_binary(expr)
+        elif isinstance(expr, ast.Assign):
+            self._gen_assign(expr)
+        elif isinstance(expr, ast.Index):
+            self._gen_addr(expr)
+            self.emit(f"{self._load_op(expr.ctype)} r0, [r0, #0]")
+        elif isinstance(expr, ast.Call):
+            self._gen_call(expr)
+        elif isinstance(expr, ast.Conditional):
+            label_else = self.new_label("celse")
+            label_end = self.new_label("cend")
+            self._branch_if_false(expr.cond, label_else)
+            self._gen_expr(expr.then)
+            self.emit(f"b {label_end}")
+            self.emit_label(label_else)
+            self._gen_expr(expr.other)
+            self.emit_label(label_end)
+        else:  # pragma: no cover
+            raise MiniCError(f"unhandled expression {type(expr).__name__}")
+
+    @staticmethod
+    def _load_op(ctype):
+        return "ldrb" if ctype.base == "char" and not ctype.is_pointer else "ldr"
+
+    @staticmethod
+    def _store_op(ctype):
+        return "strb" if ctype.base == "char" and not ctype.is_pointer else "str"
+
+    def _load_constant(self, reg, value):
+        value &= 0xFFFFFFFF
+        if value <= 0xFFFF:
+            self.emit(f"movw {reg}, #{value}")
+        else:
+            self.emit(f"li {reg}, #{value}")
+
+    def _gen_varref(self, expr, reg):
+        symbol = expr.symbol
+        if symbol.type.is_array:
+            # Arrays decay to their address.
+            if symbol.is_global:
+                self.emit(f"la {reg}, {symbol.label}")
+            else:
+                self.emit(f"add {reg}, fp, #{symbol.fp_offset}")
+            return
+        if symbol.is_global:
+            self.emit(f"la r12, {symbol.label}")
+            self.emit(f"ldr {reg}, [r12, #0]")
+        else:
+            self.emit(f"ldr {reg}, [fp, #{symbol.fp_offset}]")
+
+    # ----------------------------------------------------- leaf logic
+    @staticmethod
+    def _is_leaf(expr):
+        if isinstance(expr, ast.NumberLit):
+            return True
+        if isinstance(expr, ast.VarRef):
+            return True
+        return False
+
+    def _load_leaf(self, expr, reg):
+        if isinstance(expr, ast.NumberLit):
+            self._load_constant(reg, expr.value)
+        elif isinstance(expr, ast.VarRef):
+            self._gen_varref(expr, reg)
+        else:  # pragma: no cover
+            raise MiniCError("not a leaf")
+
+    def _push_r0(self):
+        self.emit("sub sp, sp, #4")
+        self.emit("str r0, [sp, #0]")
+
+    def _pop(self, reg):
+        self.emit(f"ldr {reg}, [sp, #0]")
+        self.emit("add sp, sp, #4")
+
+    def _gen_binary_operands(self, expr):
+        """left in r0, right in r1."""
+        if self._is_leaf(expr.right):
+            self._gen_expr(expr.left)
+            self._load_leaf(expr.right, "r1")
+        else:
+            self._gen_expr(expr.right)
+            self._push_r0()
+            self._gen_expr(expr.left)
+            self._pop("r1")
+
+    # --------------------------------------------------------- binary
+    def _gen_binary(self, expr):
+        op = expr.op
+        if op in ("&&", "||"):
+            # Value context: materialise 0/1 with short-circuiting.
+            label_false = self.new_label("bfalse")
+            label_end = self.new_label("bend")
+            self._branch_if_false(expr, label_false)
+            self.emit("movw r0, #1")
+            self.emit(f"b {label_end}")
+            self.emit_label(label_false)
+            self.emit("movw r0, #0")
+            self.emit_label(label_end)
+            return
+        if op in _CMP_BRANCH:
+            label_true = self.new_label("true")
+            label_end = self.new_label("tend")
+            self._gen_compare(expr)
+            self.emit(f"{_CMP_BRANCH[op][0]} {label_true}")
+            self.emit("movw r0, #0")
+            self.emit(f"b {label_end}")
+            self.emit_label(label_true)
+            self.emit("movw r0, #1")
+            self.emit_label(label_end)
+            return
+
+        left_type = expr.left.ctype.decayed()
+        right_type = expr.right.ctype.decayed()
+        if op in ("+", "-") and (left_type.is_pointer or right_type.is_pointer):
+            self._gen_pointer_arith(expr, left_type, right_type)
+            return
+        self._gen_binary_operands(expr)
+        self.emit(f"{_BIN_OPS[op]} r0, r0, r1")
+
+    def _gen_pointer_arith(self, expr, left_type, right_type):
+        shift = {4: 2, 1: 0}
+        if left_type.is_pointer and right_type.is_pointer:
+            # pointer difference -> element count
+            self._gen_binary_operands(expr)
+            self.emit("sub r0, r0, r1")
+            s = shift[left_type.element_size()]
+            if s:
+                self.emit(f"asr r0, r0, #{s}")
+            return
+        if left_type.is_pointer:
+            self._gen_binary_operands(expr)  # r0 = ptr, r1 = int
+            s = shift[left_type.element_size()]
+            if s:
+                self.emit(f"lsl r1, r1, #{s}")
+            self.emit(f"{_BIN_OPS[expr.op]} r0, r0, r1")
+        else:
+            # int + ptr
+            self._gen_binary_operands(expr)  # r0 = int, r1 = ptr
+            s = shift[right_type.element_size()]
+            if s:
+                self.emit(f"lsl r0, r0, #{s}")
+            self.emit("add r0, r0, r1")
+
+    # --------------------------------------------------------- unary
+    def _gen_unary(self, expr):
+        op = expr.op
+        if op == "&":
+            self._gen_addr(expr.operand)
+            return
+        if op == "*":
+            self._gen_expr(expr.operand)
+            self.emit(f"{self._load_op(expr.ctype)} r0, [r0, #0]")
+            return
+        self._gen_expr(expr.operand)
+        if op == "-":
+            self.emit("rsb r0, r0, #0")
+        elif op == "~":
+            self.emit("mvn r0, r0")
+        elif op == "!":
+            label_one = self.new_label("nt")
+            self.emit("cmp r0, #0")
+            self.emit("movw r0, #1")
+            self.emit(f"beq {label_one}")
+            self.emit("movw r0, #0")
+            self.emit_label(label_one)
+        else:  # pragma: no cover
+            raise MiniCError(f"unhandled unary {op}")
+
+    # ------------------------------------------------------ addresses
+    def _gen_addr(self, expr):
+        """Evaluate the address of an lvalue into r0."""
+        if isinstance(expr, ast.VarRef):
+            symbol = expr.symbol
+            if symbol.is_global:
+                self.emit(f"la r0, {symbol.label}")
+            else:
+                self.emit(f"add r0, fp, #{symbol.fp_offset}")
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            self._gen_expr(expr.operand)
+            return
+        if isinstance(expr, ast.Index):
+            base_type = expr.base.ctype.decayed()
+            elem = base_type.element_size()
+            if isinstance(expr.index, ast.NumberLit):
+                offset = expr.index.value * elem
+                self._gen_expr(expr.base)
+                if 0 <= offset <= 8000:
+                    if offset:
+                        self.emit(f"add r0, r0, #{offset}")
+                    return
+                self._load_constant("r1", offset)
+                self.emit("add r0, r0, r1")
+                return
+            self._gen_expr(expr.index)
+            if elem == 4:
+                self.emit("lsl r0, r0, #2")
+            self._push_r0()
+            self._gen_expr(expr.base)
+            self._pop("r1")
+            self.emit("add r0, r0, r1")
+            return
+        raise MiniCError("expression is not addressable", getattr(expr, "line", None))
+
+    # ------------------------------------------------------ assignment
+    def _gen_assign(self, expr):
+        target = expr.target
+        if isinstance(target, ast.VarRef):
+            symbol = target.symbol
+            self._gen_expr(expr.value)
+            if symbol.is_global:
+                self.emit(f"la r12, {symbol.label}")
+                self.emit(f"{self._store_op(symbol.type)} r0, [r12, #0]")
+            else:
+                self.emit(f"{self._store_op(symbol.type)} r0, [fp, #{symbol.fp_offset}]")
+            return
+        self._gen_addr(target)
+        self._push_r0()
+        self._gen_expr(expr.value)
+        self._pop("r1")
+        self.emit(f"{self._store_op(target.ctype)} r0, [r1, #0]")
+
+    # ----------------------------------------------------------- calls
+    def _gen_call(self, expr):
+        if expr.name in BUILTINS:
+            self._gen_builtin(expr)
+            return
+        args = expr.args
+        count = len(args)
+        # Evaluate right-to-left, pushing each: arg i ends at [sp, #4*i].
+        for arg in reversed(args):
+            self._gen_expr(arg)
+            self._push_r0()
+        for index in range(min(count, REG_ARGS)):
+            self.emit(f"ldr r{index}, [sp, #{4 * index}]")
+        reg_bytes = 4 * min(count, REG_ARGS)
+        if reg_bytes:
+            self.emit(f"add sp, sp, #{reg_bytes}")
+        self.emit(f"bl {expr.func.label}")
+        stack_bytes = 4 * max(count - REG_ARGS, 0)
+        if stack_bytes:
+            self.emit(f"add sp, sp, #{stack_bytes}")
+
+    def _gen_builtin(self, expr):
+        a, b = expr.args
+        if self._is_leaf(b):
+            self._gen_expr(a)
+            self._load_leaf(b, "r1")
+        else:
+            self._gen_expr(b)
+            self._push_r0()
+            self._gen_expr(a)
+            self._pop("r1")
+        if expr.name == "__lsr":
+            self.emit("lsr r0, r0, r1")
+        elif expr.name == "__udiv":
+            self.emit("udiv r0, r0, r1")
+        elif expr.name == "__urem":
+            self.emit("udiv r12, r0, r1")
+            self.emit("mul r12, r12, r1")
+            self.emit("sub r0, r0, r12")
+        else:  # pragma: no cover
+            raise MiniCError(f"unknown builtin {expr.name}")
+
+    # ------------------------------------------------------------ data
+    def _gen_data(self):
+        self.lines.append("")
+        self.lines.append(".data")
+        for gvar in self.sema.unit.globals:
+            self._gen_global_data(gvar)
+        for label, data in self.sema.strings:
+            self.lines.append(".align 2")
+            escaped = _escape_bytes(data[:-1])
+            self.emit_label(label)
+            self.emit(f'.asciz "{escaped}"')
+
+    def _gen_global_data(self, gvar):
+        self.lines.append(".align 2")
+        self.emit_label(gvar.symbol.label)
+        gtype = gvar.type
+        init = gvar.init
+        if gtype.is_array:
+            elem = gtype.element_size()
+            total = gtype.array_size * elem
+            if init is None:
+                self.emit(f".space {total}")
+            elif isinstance(init, str):
+                data = init.encode("latin-1")
+                self.emit(f'.asciz "{_escape_bytes(data)}"')
+                remaining = total - (len(data) + 1)
+                if remaining > 0:
+                    self.emit(f".space {remaining}")
+            else:
+                directive = ".byte" if elem == 1 else ".word"
+                chunk = 8
+                for i in range(0, len(init), chunk):
+                    values = ", ".join(str(v & (0xFF if elem == 1 else 0xFFFFFFFF))
+                                       for v in init[i : i + chunk])
+                    self.emit(f"{directive} {values}")
+                remaining = total - len(init) * elem
+                if remaining > 0:
+                    self.emit(f".space {remaining}")
+        else:
+            value = 0 if init is None else init & 0xFFFFFFFF
+            self.emit(f".word {value}")
+
+
+def _escape_bytes(data):
+    out = []
+    for byte in data:
+        ch = chr(byte)
+        if ch == '"':
+            out.append('\\"')
+        elif ch == "\\":
+            out.append("\\\\")
+        elif ch == "\n":
+            out.append("\\n")
+        elif ch == "\t":
+            out.append("\\t")
+        elif ch == "\0":
+            out.append("\\0")
+        elif 32 <= byte < 127:
+            out.append(ch)
+        else:
+            raise MiniCError(f"unrepresentable byte in string: {byte}")
+    return "".join(out)
+
+
+def generate(sema_result):
+    """Generate assembly text from analysed mini-C."""
+    return CodeGenerator(sema_result).generate()

@@ -1,0 +1,29 @@
+"""The mini-C compiler driver."""
+
+from repro.asm import assemble
+from repro.minicc.codegen import generate
+from repro.minicc.parser import parse
+from repro.minicc.peephole import optimize_asm
+from repro.minicc.sema import analyze
+
+
+def compile_to_asm(source, optimize=False):
+    """Compile mini-C source text to TinyRISC assembly text.
+
+    ``optimize`` enables the peephole pass
+    (:mod:`repro.minicc.peephole`).  The evaluation runs with it off —
+    the paper's energy calibration is against the plain -O0-style code —
+    but it is available for users who want smaller/faster programs.
+    """
+    unit = parse(source)
+    sema_result = analyze(unit)
+    asm_text = generate(sema_result)
+    if optimize:
+        asm_text = optimize_asm(asm_text)
+    return asm_text
+
+
+def compile_minic(source, layout=None, optimize=False):
+    """Compile mini-C source text into an executable Program."""
+    asm_text = compile_to_asm(source, optimize=optimize)
+    return assemble(asm_text, layout=layout, entry="_start")

@@ -1,0 +1,11 @@
+"""Exception type raised by the mini-C compiler."""
+
+
+class MiniCError(Exception):
+    """A source-level error, carrying the 1-based line number."""
+
+    def __init__(self, message, line=None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)

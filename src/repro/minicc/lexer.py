@@ -1,0 +1,181 @@
+"""Tokenizer for mini-C source."""
+
+import re
+from dataclasses import dataclass
+
+from repro.minicc.errors import MiniCError
+
+KEYWORDS = {
+    "int",
+    "char",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "do",
+    "return",
+    "break",
+    "continue",
+    "const",
+    "unsigned",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "++",
+    "--",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    "?",
+    ":",
+]
+
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+_NUMBER_RE = re.compile(r"0[xX][0-9a-fA-F]+|0[bB][01]+|\d+")
+
+_CHAR_ESCAPES = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", "'": "'", '"': '"', "r": "\r"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "number" | "string" | "op" | "keyword" | "eof"
+    value: object
+    line: int
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, line {self.line})"
+
+
+def tokenize(source):
+    """Produce the token list (terminated by an ``eof`` token)."""
+    tokens = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise MiniCError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        match = _NUMBER_RE.match(source, i)
+        if match:
+            text = match.group(0)
+            tokens.append(Token("number", int(text, 0), line))
+            i = match.end()
+            continue
+        match = _IDENT_RE.match(source, i)
+        if match:
+            text = match.group(0)
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            i = match.end()
+            continue
+        if ch == "'":
+            value, i = _char_literal(source, i, line)
+            tokens.append(Token("number", value, line))
+            continue
+        if ch == '"':
+            value, i, line = _string_literal(source, i, line)
+            tokens.append(Token("string", value, line))
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise MiniCError(f"unexpected character: {ch!r}", line)
+    tokens.append(Token("eof", None, line))
+    return tokens
+
+
+def _char_literal(source, i, line):
+    j = i + 1
+    if j >= len(source):
+        raise MiniCError("unterminated character literal", line)
+    if source[j] == "\\":
+        esc = source[j + 1] if j + 1 < len(source) else ""
+        if esc not in _CHAR_ESCAPES:
+            raise MiniCError(f"bad escape: \\{esc}", line)
+        value = ord(_CHAR_ESCAPES[esc])
+        j += 2
+    else:
+        value = ord(source[j])
+        j += 1
+    if j >= len(source) or source[j] != "'":
+        raise MiniCError("unterminated character literal", line)
+    return value, j + 1
+
+
+def _string_literal(source, i, line):
+    out = []
+    j = i + 1
+    while j < len(source):
+        ch = source[j]
+        if ch == '"':
+            return "".join(out), j + 1, line
+        if ch == "\n":
+            raise MiniCError("newline in string literal", line)
+        if ch == "\\":
+            esc = source[j + 1] if j + 1 < len(source) else ""
+            if esc not in _CHAR_ESCAPES:
+                raise MiniCError(f"bad escape: \\{esc}", line)
+            out.append(_CHAR_ESCAPES[esc])
+            j += 2
+            continue
+        out.append(ch)
+        j += 1
+    raise MiniCError("unterminated string literal", line)

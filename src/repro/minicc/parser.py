@@ -1,0 +1,456 @@
+"""Recursive-descent parser for mini-C.
+
+Expression parsing uses precedence climbing.  Compound assignments
+(``+=`` etc.) and ``++``/``--`` are desugared into plain assignments at
+parse time, so the later stages only see a small core language.
+"""
+
+import copy
+
+from repro.minicc import ast_nodes as ast
+from repro.minicc.errors import MiniCError
+from repro.minicc.lexer import Token, tokenize
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    ">": 7,
+    "<=": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_COMPOUND_ASSIGN = {"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class Parser:
+    def __init__(self, source):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------- utilities
+    @property
+    def current(self):
+        return self.tokens[self.pos]
+
+    def advance(self):
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind, value=None):
+        token = self.current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind, value=None):
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind, value=None):
+        token = self.current
+        if not self.check(kind, value):
+            want = value if value is not None else kind
+            raise MiniCError(f"expected {want!r}, got {token.value!r}", token.line)
+        return self.advance()
+
+    # ------------------------------------------------------ top level
+    def parse(self):
+        unit = ast.TranslationUnit()
+        while not self.check("eof"):
+            self._parse_top_level(unit)
+        return unit
+
+    def _parse_top_level(self, unit):
+        line = self.current.line
+        base = self._parse_type_base()
+        pointer = bool(self.accept("op", "*"))
+        name = self.expect("ident").value
+        if self.check("op", "("):
+            unit.functions.append(
+                self._parse_function(base, pointer, name, line)
+            )
+        else:
+            unit.globals.extend(self._parse_global_tail(base, pointer, name, line))
+
+    def _parse_type_base(self):
+        self.accept("keyword", "const")
+        self.accept("keyword", "unsigned")
+        token = self.current
+        if self.accept("keyword", "int"):
+            return "int"
+        if self.accept("keyword", "char"):
+            return "char"
+        if self.accept("keyword", "void"):
+            return "void"
+        raise MiniCError(f"expected a type, got {token.value!r}", token.line)
+
+    def _parse_global_tail(self, base, pointer, first_name, line):
+        """Parse the remainder of a global declaration (may declare
+        several comma-separated names)."""
+        out = []
+        name = first_name
+        while True:
+            var_type, init = self._parse_declarator_tail(base, pointer)
+            out.append(ast.GlobalVar(var_type, name, init, line))
+            if not self.accept("op", ","):
+                break
+            pointer = bool(self.accept("op", "*"))
+            name = self.expect("ident").value
+        self.expect("op", ";")
+        return out
+
+    def _parse_declarator_tail(self, base, pointer):
+        """``[N]`` / ``[]`` suffix plus optional ``= init``."""
+        array_size = None
+        sized_later = False
+        if self.accept("op", "["):
+            if self.check("op", "]"):
+                sized_later = True  # int a[] = {...};
+            else:
+                array_size = self._parse_const_expr()
+            self.expect("op", "]")
+        init = None
+        if self.accept("op", "="):
+            if self.check("op", "{"):
+                init = self._parse_initializer_list()
+            elif self.check("string"):
+                token = self.advance()
+                init = token.value
+            else:
+                init = self.parse_expression()
+        if sized_later:
+            if init is None:
+                raise MiniCError("[] array needs an initializer", self.current.line)
+            array_size = len(init) + 1 if isinstance(init, str) else len(init)
+        var_type = ast.Type(base, is_pointer=pointer, array_size=array_size)
+        return var_type, init
+
+    def _parse_initializer_list(self):
+        self.expect("op", "{")
+        items = []
+        if not self.check("op", "}"):
+            while True:
+                items.append(self.parse_expression())
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", "}")
+        return items
+
+    def _parse_const_expr(self):
+        """A constant expression (folded at parse time for array sizes)."""
+        expr = self.parse_expression()
+        value = _fold(expr)
+        if value is None:
+            raise MiniCError("expected a constant expression", self.current.line)
+        return value
+
+    # ------------------------------------------------------- functions
+    def _parse_function(self, base, pointer, name, line):
+        return_type = ast.Type(base, is_pointer=pointer)
+        self.expect("op", "(")
+        params = []
+        if not self.check("op", ")"):
+            if self.check("keyword", "void") and self.tokens[self.pos + 1].value == ")":
+                self.advance()
+            else:
+                while True:
+                    p_line = self.current.line
+                    p_base = self._parse_type_base()
+                    p_pointer = bool(self.accept("op", "*"))
+                    p_name = self.expect("ident").value
+                    if self.accept("op", "["):
+                        # array parameters decay to pointers
+                        if not self.check("op", "]"):
+                            self._parse_const_expr()
+                        self.expect("op", "]")
+                        p_pointer = True
+                    params.append(
+                        ast.Param(ast.Type(p_base, is_pointer=p_pointer), p_name, p_line)
+                    )
+                    if not self.accept("op", ","):
+                        break
+        self.expect("op", ")")
+        body = self.parse_block()
+        return ast.Function(return_type, name, params, body, line)
+
+    # ------------------------------------------------------ statements
+    def parse_block(self):
+        line = self.expect("op", "{").line
+        block = ast.Block(line=line)
+        while not self.check("op", "}"):
+            block.statements.append(self.parse_statement())
+        self.expect("op", "}")
+        return block
+
+    def parse_statement(self):
+        token = self.current
+        if token.kind == "op" and token.value == "{":
+            return self.parse_block()
+        if token.kind == "keyword":
+            if token.value in ("int", "char", "const", "unsigned"):
+                return self._parse_local_declaration()
+            if token.value == "if":
+                return self._parse_if()
+            if token.value == "while":
+                return self._parse_while()
+            if token.value == "do":
+                return self._parse_do_while()
+            if token.value == "for":
+                return self._parse_for()
+            if token.value == "return":
+                self.advance()
+                value = None
+                if not self.check("op", ";"):
+                    value = self.parse_expression()
+                self.expect("op", ";")
+                return ast.Return(value, token.line)
+            if token.value == "break":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Break(token.line)
+            if token.value == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Continue(token.line)
+        if self.accept("op", ";"):
+            return ast.Block(line=token.line)  # empty statement
+        expr = self.parse_expression()
+        self.expect("op", ";")
+        return ast.ExprStmt(expr, token.line)
+
+    def _parse_local_declaration(self):
+        line = self.current.line
+        base = self._parse_type_base()
+        declarations = []
+        while True:
+            pointer = bool(self.accept("op", "*"))
+            name = self.expect("ident").value
+            var_type, init = self._parse_declarator_tail(base, pointer)
+            declarations.append(ast.Declaration(var_type, name, init, line))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ";")
+        if len(declarations) == 1:
+            return declarations[0]
+        return ast.Block(declarations, line, scoped=False)
+
+    def _parse_if(self):
+        line = self.expect("keyword", "if").line
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        then = self.parse_statement()
+        other = None
+        if self.accept("keyword", "else"):
+            other = self.parse_statement()
+        return ast.If(cond, then, other, line)
+
+    def _parse_while(self):
+        line = self.expect("keyword", "while").line
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        body = self.parse_statement()
+        return ast.While(cond, body, line)
+
+    def _parse_do_while(self):
+        line = self.expect("keyword", "do").line
+        body = self.parse_statement()
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.DoWhile(body, cond, line)
+
+    def _parse_for(self):
+        line = self.expect("keyword", "for").line
+        self.expect("op", "(")
+        init = None
+        if not self.check("op", ";"):
+            if self.check("keyword", "int") or self.check("keyword", "char"):
+                init = self._parse_local_declaration()
+            else:
+                init = ast.ExprStmt(self.parse_expression(), line)
+                self.expect("op", ";")
+        else:
+            self.expect("op", ";")
+        cond = None
+        if not self.check("op", ";"):
+            cond = self.parse_expression()
+        self.expect("op", ";")
+        step = None
+        if not self.check("op", ")"):
+            step = self.parse_expression()
+        self.expect("op", ")")
+        body = self.parse_statement()
+        return ast.For(init, cond, step, body, line)
+
+    # ----------------------------------------------------- expressions
+    def parse_expression(self):
+        return self._parse_assignment()
+
+    def _parse_assignment(self):
+        left = self._parse_conditional()
+        token = self.current
+        if self.accept("op", "="):
+            value = self._parse_assignment()
+            return ast.Assign(left, value, token.line)
+        if token.kind == "op" and token.value in _COMPOUND_ASSIGN:
+            self.advance()
+            value = self._parse_assignment()
+            # Desugar: a op= b  ->  a = a op b  (re-evaluating the lvalue
+            # is safe in mini-C: no side effects inside lvalues beyond
+            # the index expressions, which we duplicate structurally).
+            op = token.value[:-1]
+            return ast.Assign(
+                left, ast.Binary(op, copy.deepcopy(left), value, token.line), token.line
+            )
+        return left
+
+    def _parse_conditional(self):
+        cond = self._parse_binary(1)
+        if self.accept("op", "?"):
+            line = self.current.line
+            then = self.parse_expression()
+            self.expect("op", ":")
+            other = self._parse_conditional()
+            return ast.Conditional(cond, then, other, line)
+        return cond
+
+    def _parse_binary(self, min_prec):
+        left = self._parse_unary()
+        while True:
+            token = self.current
+            if token.kind != "op":
+                return left
+            prec = _PRECEDENCE.get(token.value)
+            if prec is None or prec < min_prec:
+                return left
+            self.advance()
+            right = self._parse_binary(prec + 1)
+            left = ast.Binary(token.value, left, right, token.line)
+
+    def _parse_unary(self):
+        token = self.current
+        if token.kind == "op" and token.value in ("-", "!", "~", "*", "&"):
+            self.advance()
+            operand = self._parse_unary()
+            return ast.Unary(token.value, operand, token.line)
+        if token.kind == "op" and token.value == "+":
+            self.advance()
+            return self._parse_unary()
+        if token.kind == "op" and token.value in ("++", "--"):
+            self.advance()
+            target = self._parse_unary()
+            op = "+" if token.value == "++" else "-"
+            return ast.Assign(
+                target,
+                ast.Binary(op, copy.deepcopy(target), ast.NumberLit(1, token.line)),
+                token.line,
+            )
+        return self._parse_postfix()
+
+    def _parse_postfix(self):
+        expr = self._parse_primary()
+        while True:
+            token = self.current
+            if self.accept("op", "["):
+                index = self.parse_expression()
+                self.expect("op", "]")
+                expr = ast.Index(expr, index, token.line)
+            elif token.kind == "op" and token.value in ("++", "--"):
+                # Postfix increment is only supported in statement
+                # position (its value is discarded); desugar likewise.
+                self.advance()
+                op = "+" if token.value == "++" else "-"
+                expr = ast.Assign(
+                    expr,
+                    ast.Binary(op, copy.deepcopy(expr), ast.NumberLit(1, token.line)),
+                    token.line,
+                )
+            else:
+                return expr
+
+    def _parse_primary(self):
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return ast.NumberLit(token.value, token.line)
+        if token.kind == "string":
+            self.advance()
+            return ast.StringLit(token.value, token.line)
+        if token.kind == "ident":
+            self.advance()
+            if self.accept("op", "("):
+                args = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                return ast.Call(token.value, args, token.line)
+            return ast.VarRef(token.value, token.line)
+        if self.accept("op", "("):
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        raise MiniCError(f"unexpected token: {token.value!r}", token.line)
+
+
+def _fold(expr):
+    """Best-effort constant folding (array sizes, global initialisers)."""
+    if isinstance(expr, ast.NumberLit):
+        return expr.value
+    if isinstance(expr, ast.Unary):
+        value = _fold(expr.operand)
+        if value is None:
+            return None
+        if expr.op == "-":
+            return -value
+        if expr.op == "~":
+            return ~value
+        if expr.op == "!":
+            return int(not value)
+        return None
+    if isinstance(expr, ast.Binary):
+        left, right = _fold(expr.left), _fold(expr.right)
+        if left is None or right is None:
+            return None
+        try:
+            return {
+                "+": lambda: left + right,
+                "-": lambda: left - right,
+                "*": lambda: left * right,
+                "/": lambda: int(left / right) if right else None,
+                "%": lambda: left - int(left / right) * right if right else None,
+                "<<": lambda: left << (right & 31),
+                ">>": lambda: left >> (right & 31),
+                "&": lambda: left & right,
+                "|": lambda: left | right,
+                "^": lambda: left ^ right,
+            }[expr.op]()
+        except KeyError:
+            return None
+    return None
+
+
+def parse(source):
+    """Parse mini-C ``source`` into a TranslationUnit AST."""
+    return Parser(source).parse()

@@ -1,0 +1,138 @@
+"""Opt-in peephole optimisation of generated TinyRISC assembly.
+
+The accumulator code generator is deliberately naive (GCC -O0 style);
+this pass removes its most mechanical redundancies without changing
+observable behaviour:
+
+1. **push-leaf-pop**: the ``sub sp / str r0 / <leaf> / ldr r1 / add sp``
+   sandwich emitted when a binary operation's *left* operand is cheap
+   becomes ``mov r1, r0`` + ``<leaf>`` — five instructions down to two
+   or three.  The sandwiched lines must not mention ``r1`` or ``sp``
+   and must be straight-line (no labels, branches or calls).  Frame-
+   and global-relative memory accesses cannot alias the push slot: the
+   slot lives strictly below every frame local, and globals live in a
+   different region.
+2. **store-load elision**: ``str rX, [fp, #k]`` immediately followed by
+   ``ldr rX, [fp, #k]`` drops the load (the value is still in ``rX``).
+3. **branch-to-next**: ``b .L`` immediately followed by ``.L:`` drops
+   the branch.
+
+The pass is *off by default* — the evaluation's calibrated energy
+numbers are measured against the unoptimised code — and is exercised by
+equivalence tests that compile every benchmark both ways and compare
+outputs (`tests/minicc/test_peephole.py`).
+"""
+
+import re
+
+_PUSH = ("    sub sp, sp, #4", "    str r0, [sp, #0]")
+_POP = ("    ldr r1, [sp, #0]", "    add sp, sp, #4")
+
+#: Lines allowed between push and pop for pattern 1: straight-line
+#: instructions (not labels/directives) that avoid r1 and sp entirely.
+_UNSAFE_TOKEN = re.compile(r"\b(r1|sp|lr|pc)\b")
+_BRANCHY = re.compile(r"^\s*(b[a-z]*|ret)\b")
+_LABEL_OR_DIRECTIVE = re.compile(r"^\S|^\s*\.")
+
+_STORE_FP = re.compile(r"^    str (r\d+), \[fp, #(-?\d+)\]$")
+_LOAD_FP = re.compile(r"^    ldr (r\d+), \[fp, #(-?\d+)\]$")
+_BRANCH_ALWAYS = re.compile(r"^    b (\S+)$")
+_LABEL = re.compile(r"^(\S+):$")
+
+#: How many sandwiched lines pattern 1 will look across.
+_MAX_SANDWICH = 4
+
+
+def _safe_sandwich_line(line):
+    if not line.startswith("    "):
+        return False  # label or blank
+    if _LABEL_OR_DIRECTIVE.match(line):
+        return False
+    if _BRANCHY.match(line.strip()):
+        return False
+    if _UNSAFE_TOKEN.search(line):
+        return False
+    return True
+
+
+def _match_push_leaf_pop(lines, i):
+    """If a rewritable sandwich starts at ``i``, return (middle, end)."""
+    n = len(lines)
+    if not (i + 3 < n and lines[i] == _PUSH[0] and lines[i + 1] == _PUSH[1]):
+        return None
+    for span in range(_MAX_SANDWICH + 1):
+        end = i + 2 + span
+        if end + 1 >= n:
+            return None
+        middle = lines[i + 2 : end]
+        if lines[end] == _POP[0] and lines[end + 1] == _POP[1]:
+            if all(_safe_sandwich_line(line) for line in middle):
+                return middle, end + 2
+            return None
+        if middle and not _safe_sandwich_line(middle[-1]):
+            return None  # the sandwich can only grow more unsafe
+    return None
+
+
+def _apply_push_leaf_pop(lines):
+    out = []
+    i = 0
+    changed = False
+    while i < len(lines):
+        match = _match_push_leaf_pop(lines, i)
+        if match is not None:
+            middle, next_i = match
+            out.append("    mov r1, r0")
+            out.extend(middle)
+            i = next_i
+            changed = True
+            continue
+        out.append(lines[i])
+        i += 1
+    return out, changed
+
+
+def _apply_store_load(lines):
+    out = []
+    changed = False
+    i = 0
+    while i < len(lines):
+        out.append(lines[i])
+        if i + 1 < len(lines):
+            store = _STORE_FP.match(lines[i])
+            load = _LOAD_FP.match(lines[i + 1])
+            if store and load and store.groups() == load.groups():
+                i += 2  # drop the load
+                changed = True
+                continue
+        i += 1
+    return out, changed
+
+
+def _apply_branch_to_next(lines):
+    out = []
+    changed = False
+    i = 0
+    while i < len(lines):
+        branch = _BRANCH_ALWAYS.match(lines[i])
+        if branch and i + 1 < len(lines):
+            label = _LABEL.match(lines[i + 1])
+            if label and label.group(1) == branch.group(1):
+                changed = True
+                i += 1  # drop the branch, keep the label
+                continue
+        out.append(lines[i])
+        i += 1
+    return out, changed
+
+
+def optimize_asm(asm_text, max_rounds=8):
+    """Run the peephole passes to a fixpoint; returns optimised text."""
+    lines = asm_text.splitlines()
+    for _ in range(max_rounds):
+        lines, c1 = _apply_push_leaf_pop(lines)
+        lines, c2 = _apply_store_load(lines)
+        lines, c3 = _apply_branch_to_next(lines)
+        if not (c1 or c2 or c3):
+            break
+    return "\n".join(lines) + "\n"

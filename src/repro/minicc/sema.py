@@ -1,0 +1,375 @@
+"""Semantic analysis: symbol resolution, frame layout and type annotation.
+
+Sema walks the AST once, resolving every name to a :class:`Symbol`,
+computing each function's frame-pointer-relative slot layout, collecting
+anonymous string-literal data objects, and annotating every expression
+node with a ``ctype`` attribute the code generator uses for pointer
+scaling and byte-vs-word memory accesses.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.minicc import ast_nodes as ast
+from repro.minicc.errors import MiniCError
+
+WORD = 4
+#: Number of arguments passed in registers (r0-r3), AAPCS-style.
+REG_ARGS = 4
+#: Frame offset of the first local slot (below saved lr and fp).
+FIRST_LOCAL_OFFSET = -12
+
+
+@dataclass
+class Symbol:
+    """A resolved variable: global, local or parameter."""
+
+    name: str
+    type: ast.Type
+    kind: str  # "global" | "local" | "param"
+    label: str = None  # globals: assembly label
+    fp_offset: int = None  # locals/params: offset from fp
+
+    @property
+    def is_global(self):
+        return self.kind == "global"
+
+
+@dataclass
+class FunctionInfo:
+    """Resolved signature + frame layout of one function."""
+
+    name: str
+    return_type: ast.Type
+    params: list
+    frame_size: int = 0  # saved regs + locals, bytes
+    label: str = None
+
+
+@dataclass
+class SemaResult:
+    unit: ast.TranslationUnit
+    functions: dict
+    globals: dict
+    strings: list = field(default_factory=list)  # (label, bytes)
+
+
+class _Scope:
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.names = {}
+
+    def define(self, symbol, line):
+        if symbol.name in self.names:
+            raise MiniCError(f"duplicate declaration of {symbol.name!r}", line)
+        self.names[symbol.name] = symbol
+
+    def resolve(self, name):
+        scope = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class SemanticAnalyzer:
+    def __init__(self, unit):
+        self.unit = unit
+        self.globals = {}
+        self.functions = {}
+        self.strings = []
+        self._string_count = 0
+        self._global_scope = _Scope()
+        # per-function state
+        self._scope = None
+        self._next_offset = 0
+        self._current = None
+        self._loop_depth = 0
+
+    # ------------------------------------------------------- top level
+    def analyze(self):
+        # Builtin unsigned intrinsics (see repro.minicc.codegen.BUILTINS).
+        for builtin in ("__lsr", "__udiv", "__urem"):
+            self.functions[builtin] = FunctionInfo(
+                builtin, ast.INT, [ast.INT, ast.INT], label=builtin
+            )
+        for gvar in self.unit.globals:
+            self._declare_global(gvar)
+        for func in self.unit.functions:
+            if func.name in self.functions:
+                raise MiniCError(f"duplicate function {func.name!r}", func.line)
+            info = FunctionInfo(
+                func.name,
+                func.return_type,
+                [p.type.decayed() for p in func.params],
+                label=f"fn_{func.name}",
+            )
+            self.functions[func.name] = info
+            func.symbol = info
+        if "main" not in self.functions:
+            raise MiniCError("program has no main()")
+        for func in self.unit.functions:
+            self._analyze_function(func)
+        return SemaResult(self.unit, self.functions, self.globals, self.strings)
+
+    def _declare_global(self, gvar):
+        if gvar.name in self.globals or gvar.name in self.functions:
+            raise MiniCError(f"duplicate global {gvar.name!r}", gvar.line)
+        if gvar.type.base == "void" and not gvar.type.is_pointer:
+            raise MiniCError("global cannot have type void", gvar.line)
+        symbol = Symbol(gvar.name, gvar.type, "global", label=f"g_{gvar.name}")
+        gvar.symbol = symbol
+        self.globals[gvar.name] = symbol
+        self._global_scope.define(symbol, gvar.line)
+        gvar.init = self._fold_global_init(gvar)
+
+    def _fold_global_init(self, gvar):
+        """Globals are initialised with constants (folded here)."""
+        from repro.minicc.parser import _fold
+
+        init = gvar.init
+        if init is None:
+            return None
+        if isinstance(init, str):
+            if gvar.type.base != "char" or not gvar.type.is_array:
+                raise MiniCError(
+                    "string initialiser requires a char array", gvar.line
+                )
+            return init
+        if isinstance(init, list):
+            if not gvar.type.is_array:
+                raise MiniCError("brace initialiser requires an array", gvar.line)
+            if len(init) > gvar.type.array_size:
+                raise MiniCError("too many initialisers", gvar.line)
+            values = []
+            for item in init:
+                value = _fold(item)
+                if value is None:
+                    raise MiniCError(
+                        "global initialisers must be constant", gvar.line
+                    )
+                values.append(value)
+            return values
+        value = _fold(init)
+        if value is None:
+            raise MiniCError("global initialisers must be constant", gvar.line)
+        return value
+
+    # ------------------------------------------------------- functions
+    def _analyze_function(self, func):
+        self._current = func
+        self._scope = _Scope(self._global_scope)
+        self._next_offset = FIRST_LOCAL_OFFSET
+        for index, param in enumerate(func.params):
+            ptype = param.type.decayed()
+            if index < REG_ARGS:
+                # Register args are spilled to a local slot in the
+                # prologue so they are addressable like any variable.
+                symbol = Symbol(param.name, ptype, "param", fp_offset=self._alloc(WORD))
+            else:
+                # Stack args live in the caller's outgoing-args area,
+                # at positive offsets from fp (fp == caller sp).
+                symbol = Symbol(
+                    param.name, ptype, "param", fp_offset=(index - REG_ARGS) * WORD
+                )
+            param.symbol = symbol
+            self._scope.define(symbol, param.line)
+        self._visit_block(func.body, new_scope=False)
+        locals_bytes = FIRST_LOCAL_OFFSET - self._next_offset
+        func.locals_size = locals_bytes
+        func.symbol.frame_size = 8 + locals_bytes  # saved lr + fp + locals
+        self._current = None
+        self._scope = None
+
+    def _alloc(self, size):
+        """Allocate ``size`` bytes in the frame; returns the fp offset."""
+        size = (size + WORD - 1) & ~(WORD - 1)
+        # ``_next_offset`` is the highest free slot going down; an
+        # allocation of ``size`` bytes ends at ``_next_offset + 3`` and
+        # begins ``size`` bytes lower.
+        base = self._next_offset - size + WORD
+        self._next_offset = base - WORD
+        return base  # lowest address of the allocation
+
+    # ------------------------------------------------------ statements
+    def _visit_block(self, block, new_scope=True):
+        if new_scope:
+            self._scope = _Scope(self._scope)
+        for stmt in block.statements:
+            self._visit_stmt(stmt)
+        if new_scope:
+            self._scope = self._scope.parent
+
+    def _visit_stmt(self, stmt):
+        if isinstance(stmt, ast.Block):
+            self._visit_block(stmt, new_scope=stmt.scoped)
+        elif isinstance(stmt, ast.Declaration):
+            self._visit_declaration(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._visit_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._visit_expr(stmt.cond)
+            self._visit_stmt(stmt.then)
+            if stmt.other is not None:
+                self._visit_stmt(stmt.other)
+        elif isinstance(stmt, ast.While):
+            self._visit_expr(stmt.cond)
+            self._loop_depth += 1
+            self._visit_stmt(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.DoWhile):
+            self._loop_depth += 1
+            self._visit_stmt(stmt.body)
+            self._loop_depth -= 1
+            self._visit_expr(stmt.cond)
+        elif isinstance(stmt, ast.For):
+            self._scope = _Scope(self._scope)
+            if stmt.init is not None:
+                self._visit_stmt(stmt.init)
+            if stmt.cond is not None:
+                self._visit_expr(stmt.cond)
+            if stmt.step is not None:
+                self._visit_expr(stmt.step)
+            self._loop_depth += 1
+            self._visit_stmt(stmt.body)
+            self._loop_depth -= 1
+            self._scope = self._scope.parent
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._visit_expr(stmt.value)
+                if self._current.return_type == ast.VOID:
+                    raise MiniCError(
+                        "void function returns a value", stmt.line
+                    )
+            elif self._current.return_type != ast.VOID:
+                raise MiniCError("non-void function returns nothing", stmt.line)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                raise MiniCError("break/continue outside a loop", stmt.line)
+        else:  # pragma: no cover - parser produces no other statements
+            raise MiniCError(f"unhandled statement {type(stmt).__name__}", stmt.line)
+
+    def _visit_declaration(self, decl):
+        if decl.type.base == "void" and not decl.type.is_pointer:
+            raise MiniCError("variable cannot have type void", decl.line)
+        if decl.type.is_array:
+            size = decl.type.array_size * decl.type.element_size()
+        else:
+            size = WORD
+        symbol = Symbol(decl.name, decl.type, "local", fp_offset=self._alloc(size))
+        decl.symbol = symbol
+        self._scope.define(symbol, decl.line)
+        if decl.init is not None:
+            if isinstance(decl.init, list):
+                if not decl.type.is_array:
+                    raise MiniCError("brace initialiser requires an array", decl.line)
+                if len(decl.init) > decl.type.array_size:
+                    raise MiniCError("too many initialisers", decl.line)
+                for item in decl.init:
+                    self._visit_expr(item)
+            elif isinstance(decl.init, str):
+                raise MiniCError(
+                    "string initialisers are only supported for globals", decl.line
+                )
+            else:
+                self._visit_expr(decl.init)
+
+    # ----------------------------------------------------- expressions
+    def _visit_expr(self, expr):
+        """Resolve names and annotate ``expr.ctype``; returns the type."""
+        if isinstance(expr, ast.NumberLit):
+            expr.ctype = ast.INT
+        elif isinstance(expr, ast.StringLit):
+            label = f"str_{self._string_count}"
+            self._string_count += 1
+            expr.label = label
+            self.strings.append((label, expr.value.encode("latin-1") + b"\0"))
+            expr.ctype = ast.Type("char", is_pointer=True)
+        elif isinstance(expr, ast.VarRef):
+            symbol = self._scope.resolve(expr.name)
+            if symbol is None:
+                raise MiniCError(f"undefined variable {expr.name!r}", expr.line)
+            expr.symbol = symbol
+            expr.ctype = symbol.type
+        elif isinstance(expr, ast.Unary):
+            expr.ctype = self._visit_unary(expr)
+        elif isinstance(expr, ast.Binary):
+            expr.ctype = self._visit_binary(expr)
+        elif isinstance(expr, ast.Assign):
+            target_type = self._visit_expr(expr.target)
+            self._require_lvalue(expr.target)
+            self._visit_expr(expr.value)
+            expr.ctype = target_type.decayed()
+        elif isinstance(expr, ast.Index):
+            base_type = self._visit_expr(expr.base)
+            self._visit_expr(expr.index)
+            if not (base_type.is_pointer or base_type.is_array):
+                raise MiniCError("indexing a non-pointer", expr.line)
+            expr.ctype = ast.Type(base_type.base)
+        elif isinstance(expr, ast.Call):
+            info = self.functions.get(expr.name)
+            if info is None:
+                raise MiniCError(f"undefined function {expr.name!r}", expr.line)
+            if len(expr.args) != len(info.params):
+                raise MiniCError(
+                    f"{expr.name}() expects {len(info.params)} args, "
+                    f"got {len(expr.args)}",
+                    expr.line,
+                )
+            for arg in expr.args:
+                self._visit_expr(arg)
+            expr.func = info
+            expr.ctype = info.return_type
+        elif isinstance(expr, ast.Conditional):
+            self._visit_expr(expr.cond)
+            then_type = self._visit_expr(expr.then)
+            self._visit_expr(expr.other)
+            expr.ctype = then_type.decayed()
+        else:  # pragma: no cover
+            raise MiniCError(f"unhandled expression {type(expr).__name__}")
+        return expr.ctype
+
+    def _visit_unary(self, expr):
+        operand_type = self._visit_expr(expr.operand)
+        if expr.op == "*":
+            if not (operand_type.is_pointer or operand_type.is_array):
+                raise MiniCError("dereferencing a non-pointer", expr.line)
+            return ast.Type(operand_type.base)
+        if expr.op == "&":
+            self._require_lvalue(expr.operand)
+            base = operand_type
+            return ast.Type(base.base, is_pointer=True)
+        return ast.INT
+
+    def _visit_binary(self, expr):
+        left = self._visit_expr(expr.left).decayed()
+        right = self._visit_expr(expr.right).decayed()
+        if expr.op in ("+", "-"):
+            if left.is_pointer and right.is_pointer:
+                if expr.op == "-":
+                    return ast.INT  # pointer difference (scaled by codegen)
+                raise MiniCError("cannot add two pointers", expr.line)
+            if left.is_pointer:
+                return left
+            if right.is_pointer:
+                if expr.op == "-":
+                    raise MiniCError("cannot subtract pointer from int", expr.line)
+                return right
+        return ast.INT
+
+    def _require_lvalue(self, expr):
+        if isinstance(expr, ast.VarRef):
+            if expr.symbol.type.is_array:
+                raise MiniCError(f"cannot assign to array {expr.name!r}", expr.line)
+            return
+        if isinstance(expr, ast.Index):
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return
+        line = getattr(expr, "line", None)
+        raise MiniCError("expression is not an lvalue", line)
+
+
+def analyze(unit):
+    """Run semantic analysis on a parsed TranslationUnit."""
+    return SemanticAnalyzer(unit).analyze()

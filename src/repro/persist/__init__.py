@@ -1,0 +1,53 @@
+"""The intermittent persist-dependency model (paper Section 3).
+
+The paper's theoretical contribution is a happens-before model of
+*persists* in intermittent execution: which NVM persist operations
+(stores and backups) must be ordered relative to each other for a
+program to survive arbitrary power failures.  Table 1 names four
+ordering relations:
+
+======  =============================  ==========================
+rel     between                        requirement
+======  =============================  ==========================
+spo     st X  ->  st X                 Code Progress (program order)
+bpo     backup -> backup               Code Progress
+rfpo    st X -> next backup            Data Progress
+irpo    next backup -> st X            Idempotency (read-dominated X)
+======  =============================  ==========================
+
+For a *read-dominated* address, ``rfpo`` and ``irpo`` between a store
+and the next backup form a cycle — the store must persist neither
+before nor after the backup, i.e. **atomically with it** (Figure 3a).
+*Write-dominated* addresses drop ``irpo`` (Figure 3b), and **renaming**
+makes every address write-dominated and additionally drops ``spo`` and
+all-but-the-last ``rfpo`` per section (Figure 4) — the theoretical
+minimum NvMR achieves.
+
+This package makes the model executable:
+
+* :mod:`~repro.persist.model` — build the constraint set for a program
+  trace (with or without renaming) and classify dominance per section;
+* :mod:`~repro.persist.checker` — validate a concrete persist schedule
+  against the constraints, including crash scenarios.
+"""
+
+from repro.persist.checker import PersistScheduleChecker, ScheduleViolation
+from repro.persist.model import (
+    Access,
+    Backup,
+    Constraint,
+    PersistModel,
+    Relation,
+    build_trace,
+)
+
+__all__ = [
+    "Access",
+    "Backup",
+    "Constraint",
+    "PersistModel",
+    "PersistScheduleChecker",
+    "Relation",
+    "ScheduleViolation",
+    "build_trace",
+]

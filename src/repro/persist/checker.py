@@ -1,0 +1,159 @@
+"""Validating concrete persist schedules against the model.
+
+A *persist schedule* is the order in which an architecture actually
+writes values to NVM: a sequence of ``("st", event_index)`` and
+``("backup", event_index)`` operations, possibly interleaved with crash
+markers.  The checker verifies:
+
+1. every happens-before :class:`~repro.persist.model.Constraint` is
+   respected by the schedule order, with the atomicity refinement that
+   an ``rfpo``/``irpo`` pair is satisfied by persisting the store
+   *atomically with* the backup (the paper's Figure 3a resolution);
+2. every required persist (``persist_required``) eventually happens.
+
+It also provides reference schedule generators for the three regimes
+the paper discusses — eager in-place persistence (broken for
+read-dominated data), Clank-style persist-at-backup, and NvMR-style
+renamed persistence — used by the test suite to show exactly which
+regime violates which constraint.
+"""
+
+from repro.persist.model import Relation
+
+
+class ScheduleViolation(AssertionError):
+    """A persist schedule broke a happens-before constraint."""
+
+
+class PersistScheduleChecker:
+    """Checks a persist schedule against a :class:`PersistModel`."""
+
+    def __init__(self, model):
+        self.model = model
+        self.constraints = model.constraints()
+
+    def check(self, schedule, atomic_with=None):
+        """Validate ``schedule`` (a list of persist-op tuples).
+
+        ``atomic_with`` maps a backup op to the set of store ops that
+        persist atomically with it (double-buffered commit).  A store
+        listed there is treated as persisting at exactly the backup's
+        position, which satisfies both ``rfpo`` and ``irpo`` edges
+        against that backup.
+        """
+        atomic_with = atomic_with or {}
+        position = {}
+        for index, op in enumerate(schedule):
+            if op in position:
+                raise ScheduleViolation(f"duplicate persist of {op}")
+            position[op] = index
+        for backup_op, stores in atomic_with.items():
+            if backup_op not in position:
+                raise ScheduleViolation(f"atomic group for unpersisted {backup_op}")
+            for store_op in stores:
+                if store_op in position:
+                    raise ScheduleViolation(
+                        f"{store_op} persisted both standalone and atomically"
+                    )
+                position[store_op] = position[backup_op]
+
+        for constraint in self.constraints:
+            self._check_constraint(constraint, position, atomic_with)
+
+        missing = [
+            ("st", index)
+            for index in self.model.persist_required()
+            if ("st", index) not in position
+        ]
+        if missing:
+            raise ScheduleViolation(f"required persists never happened: {missing}")
+        return True
+
+    def _check_constraint(self, constraint, position, atomic_with):
+        first, second = constraint.first, constraint.second
+        if first not in position or second not in position:
+            # An unpersisted store trivially satisfies ordering edges;
+            # mandatory persistence is checked separately via
+            # persist_required().
+            return
+        first_pos, second_pos = position[first], position[second]
+        if constraint.relation == Relation.IRPO:
+            # "not until the backup persists": equality (atomic) is OK.
+            if second_pos < first_pos:
+                raise ScheduleViolation(
+                    f"irpo violated: {second} persisted before {first}"
+                )
+            return
+        if constraint.relation == Relation.RFPO:
+            # "before the backup persists": atomic-with also satisfies.
+            if first_pos > second_pos:
+                raise ScheduleViolation(
+                    f"rfpo violated: {first} persisted after {second}"
+                )
+            return
+        # spo / bpo: strict order between distinct persist slots.
+        if first_pos >= second_pos and not (
+            first_pos == second_pos and self._same_atomic_group(first, second, atomic_with)
+        ):
+            raise ScheduleViolation(
+                f"{constraint.relation.value} violated: {first} !-> {second}"
+            )
+
+    @staticmethod
+    def _same_atomic_group(first, second, atomic_with):
+        for backup_op, stores in atomic_with.items():
+            group = set(stores) | {backup_op}
+            if first in group and second in group:
+                return True
+        return False
+
+
+# --------------------------------------------------------------- regimes
+def eager_schedule(model):
+    """Persist every store immediately, backups when invoked.
+
+    This is a plain write-through system with no idempotency awareness;
+    it violates ``irpo`` whenever a section stores to a read-dominated
+    address (the Figure 1 failure).
+    """
+    schedule = []
+    from repro.persist.model import Access, Backup
+
+    for index, event in enumerate(model.events):
+        if isinstance(event, Backup):
+            schedule.append(("backup", index))
+        elif isinstance(event, Access) and event.is_write:
+            schedule.append(("st", index))
+    return schedule, {}
+
+
+def clank_schedule(model):
+    """Persist stores atomically with their section's backup.
+
+    Clank's resolution of the read-dominance atomicity constraint: all
+    dirty data persists with the checkpoint (double-buffered).
+    """
+    from repro.persist.model import Access, Backup
+
+    schedule = []
+    atomic = {}
+    pending = []
+    for index, event in enumerate(model.events):
+        if isinstance(event, Backup):
+            op = ("backup", index)
+            schedule.append(op)
+            atomic[op] = list(pending)
+            pending = []
+        elif isinstance(event, Access) and event.is_write:
+            pending.append(("st", index))
+    return schedule, atomic
+
+
+def nvmr_schedule(renamed_model):
+    """Persist renamed stores eagerly; backups when invoked (Figure 4).
+
+    Valid only against a ``renaming=True`` model: fresh locations make
+    eager persistence safe, so the schedule equals the eager one but
+    satisfies the (much smaller) renamed constraint set.
+    """
+    return eager_schedule(renamed_model)

@@ -1,0 +1,272 @@
+"""Constraint derivation for the intermittent persist model.
+
+A program execution is abstracted as a sequence of events in program
+order: :class:`Access` (load or store to a symbolic NVM address) and
+:class:`Backup` (checkpoint invocation).  From it the model derives:
+
+* per *intermittent section* (the span between consecutive backups),
+  the read/write dominance of every accessed address (Section 3.2);
+* the set of happens-before :class:`Constraint` objects among persist
+  operations (Table 1), under either in-place persistence or NVM
+  renaming (Section 3.6).
+
+Persist operations are identified by event index: ``("st", i)`` for the
+store at event ``i`` and ``("backup", i)`` for the backup at ``i``.
+"""
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+@dataclass(frozen=True)
+class Access:
+    """A load (``is_write=False``) or store to symbolic address ``addr``."""
+
+    addr: str
+    is_write: bool
+
+
+@dataclass(frozen=True)
+class Backup:
+    """A backup invocation."""
+
+
+class Relation(str, Enum):
+    """Table 1's ordering relations."""
+
+    SPO = "spo"  # store -> store, same address, program order
+    BPO = "bpo"  # backup -> backup, invocation order
+    RFPO = "rfpo"  # store -> next backup (data progress)
+    IRPO = "irpo"  # next backup -> store (idempotent re-execution)
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return f"Relation.{self.name}"
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``first`` must persist before ``second`` (happens-before edge)."""
+
+    first: tuple
+    second: tuple
+    relation: Relation
+
+    def __str__(self):
+        return f"{self.first} --{self.relation.value}--> {self.second}"
+
+
+def build_trace(*steps):
+    """Convenience: build an event list from compact step descriptors.
+
+    ``"LD A"`` / ``"ST A"`` / ``"BACKUP"`` strings, e.g. the paper's toy
+    program of Figure 2::
+
+        build_trace("LD A", "ST A", "ST B", "LD C", "ST C", "LD A")
+    """
+    events = []
+    for step in steps:
+        parts = step.split()
+        if parts[0].upper() == "BACKUP":
+            events.append(Backup())
+        elif parts[0].upper() == "LD":
+            events.append(Access(parts[1], is_write=False))
+        elif parts[0].upper() == "ST":
+            events.append(Access(parts[1], is_write=True))
+        else:
+            raise ValueError(f"unknown step: {step!r}")
+    return events
+
+
+class PersistModel:
+    """Derives dominance and ordering constraints from an event trace.
+
+    ``renaming=True`` models NvMR: every store persists to a fresh
+    location, which (a) makes every section write-dominated, (b) removes
+    same-address ``spo`` edges (different physical locations), and
+    (c) leaves only the *last* store to an address in each section
+    subject to ``rfpo`` — earlier renamed values need not persist at all
+    (Figure 4: "only the stores that immediately precede backups must be
+    persisted").
+    """
+
+    def __init__(self, events, renaming=False):
+        self.events = list(events)
+        self.renaming = renaming
+        self._sections = self._split_sections()
+
+    # ------------------------------------------------------- sections
+    def _split_sections(self):
+        """Sections as (start_index, end_index_exclusive, backup_index).
+
+        ``backup_index`` is the index of the backup event that *ends*
+        the section, or None for the final open section.
+        """
+        sections = []
+        start = 0
+        for index, event in enumerate(self.events):
+            if isinstance(event, Backup):
+                sections.append((start, index, index))
+                start = index + 1
+        sections.append((start, len(self.events), None))
+        return sections
+
+    def backup_indices(self):
+        return [i for i, e in enumerate(self.events) if isinstance(e, Backup)]
+
+    @property
+    def sections(self):
+        """``(start, end, backup_index)`` spans between backups."""
+        return list(self._sections)
+
+    # ------------------------------------------------------ dominance
+    def dominance(self):
+        """Per section: ``{addr: "R" | "W"}`` by first access (Section 3.2).
+
+        With renaming every address is write-dominated by construction
+        (the store targets a fresh location never read before).
+        """
+        out = []
+        for start, end, _ in self._sections:
+            first_access = {}
+            for index in range(start, end):
+                event = self.events[index]
+                if isinstance(event, Access) and event.addr not in first_access:
+                    first_access[event.addr] = "W" if event.is_write else "R"
+            if self.renaming:
+                first_access = {addr: "W" for addr in first_access}
+            out.append(first_access)
+        return out
+
+    # ----------------------------------------------------- constraints
+    def constraints(self):
+        """The full happens-before constraint set (Table 1)."""
+        out = set()
+        out |= self._bpo()
+        out |= self._spo()
+        out |= self._rfpo()
+        out |= self._irpo()
+        return out
+
+    def _bpo(self):
+        backups = self.backup_indices()
+        return {
+            Constraint(("backup", a), ("backup", b), Relation.BPO)
+            for a, b in zip(backups, backups[1:])
+        }
+
+    def _store_indices(self, addr=None):
+        return [
+            i
+            for i, e in enumerate(self.events)
+            if isinstance(e, Access) and e.is_write and (addr is None or e.addr == addr)
+        ]
+
+    def _spo(self):
+        """Same-address stores persist in program order — unless renamed
+        (each persist targets a distinct physical location)."""
+        if self.renaming:
+            return set()
+        out = set()
+        addrs = {e.addr for e in self.events if isinstance(e, Access) and e.is_write}
+        for addr in addrs:
+            stores = self._store_indices(addr)
+            out |= {
+                Constraint(("st", a), ("st", b), Relation.SPO)
+                for a, b in zip(stores, stores[1:])
+            }
+        return out
+
+    def _rfpo(self):
+        """Data progress: a store persists before the next backup.
+
+        Without renaming, every store carries the edge (its location is
+        the one the post-failure load would read).  With renaming, only
+        the *last* store to each address within a section must persist
+        — earlier values are dead the moment they are overwritten in
+        the (volatile) cache, and their renamed locations are never the
+        committed mapping.
+        """
+        out = set()
+        for start, end, backup_index in self._sections:
+            if backup_index is None:
+                continue
+            last_store = {}
+            for index in range(start, end):
+                event = self.events[index]
+                if isinstance(event, Access) and event.is_write:
+                    last_store[event.addr] = index
+                    if not self.renaming:
+                        out.add(
+                            Constraint(
+                                ("st", index),
+                                ("backup", backup_index),
+                                Relation.RFPO,
+                            )
+                        )
+            if self.renaming:
+                out |= {
+                    Constraint(("st", index), ("backup", backup_index), Relation.RFPO)
+                    for index in last_store.values()
+                }
+        return out
+
+    def _irpo(self):
+        """Idempotency: a store to a *read-dominated* address must not
+        persist until the section's backup has persisted (Figure 3a).
+        Renaming removes the relation entirely (Figure 4)."""
+        if self.renaming:
+            return set()
+        out = set()
+        dominance = self.dominance()
+        for section, (start, end, backup_index) in zip(dominance, self._sections):
+            if backup_index is None:
+                continue
+            for index in range(start, end):
+                event = self.events[index]
+                if (
+                    isinstance(event, Access)
+                    and event.is_write
+                    and section.get(event.addr) == "R"
+                ):
+                    out.add(
+                        Constraint(
+                            ("backup", backup_index),
+                            ("st", index),
+                            Relation.IRPO,
+                        )
+                    )
+        return out
+
+    # ------------------------------------------------------ atomicity
+    def atomic_groups(self):
+        """Stores that must persist atomically with their section backup.
+
+        These are exactly the persists carrying both an ``rfpo`` edge
+        (before the backup) and an ``irpo`` edge (not until the backup)
+        — the cyclic pattern of Figure 3a.  Returns
+        ``{backup_index: [store indices]}``.
+        """
+        constraints = self.constraints()
+        before = {
+            (c.first, c.second)
+            for c in constraints
+            if c.relation == Relation.RFPO
+        }
+        groups = {}
+        for constraint in constraints:
+            if constraint.relation != Relation.IRPO:
+                continue
+            backup_op, store_op = constraint.first, constraint.second
+            if (store_op, backup_op) in before:
+                groups.setdefault(backup_op[1], []).append(store_op[1])
+        return {k: sorted(v) for k, v in groups.items()}
+
+    def persist_required(self):
+        """Store events whose value must reach NVM at all.
+
+        Under renaming only the last store per (section, address) must
+        persist — the paper's "theoretical maximum efficiency".
+        """
+        return sorted(
+            c.first[1] for c in self.constraints() if c.relation == Relation.RFPO
+        )

@@ -1,0 +1,58 @@
+"""Backup policies (paper Section 5.2).
+
+A policy decides *when* to invoke a backup, independent of the
+architecture's structural needs:
+
+* :class:`~repro.policies.jit.JitPolicy` — the Just-In-Time oracle:
+  backs up exactly when the remaining charge can still pay for the
+  backup plus one worst-case instruction, then shuts down.  No dead
+  energy, matching the paper.
+* :class:`~repro.policies.watchdog.WatchdogPolicy` — backs up every
+  8000 cycles [16]; power failures happen naturally, so there is dead
+  (re-executed) energy.
+* :class:`~repro.policies.spendthrift.SpendthriftPolicy` — a learned
+  JIT approximation [23]: a small MLP trained offline on oracle backup
+  decisions from noisy voltage measurements (the paper's PyTorch model,
+  re-implemented in numpy; ~97% label accuracy on held-out samples).
+* :class:`~repro.policies.base.NeverPolicy` — no policy backups at all
+  (structural backups only); used by tests.
+"""
+
+from repro.policies.base import BackupPolicy, NeverPolicy, PolicyAction
+from repro.policies.jit import JitPolicy
+from repro.policies.spendthrift import SpendthriftPolicy, train_spendthrift_model
+from repro.policies.task import TaskBoundaryPolicy
+from repro.policies.watchdog import WatchdogPolicy
+
+POLICIES = {
+    "jit": JitPolicy,
+    "watchdog": WatchdogPolicy,
+    "spendthrift": SpendthriftPolicy,
+    "task": TaskBoundaryPolicy,
+    "never": NeverPolicy,
+}
+
+
+def make_policy(name, **kwargs):
+    """Instantiate a policy by registry name."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; options: {sorted(POLICIES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "BackupPolicy",
+    "JitPolicy",
+    "NeverPolicy",
+    "POLICIES",
+    "PolicyAction",
+    "SpendthriftPolicy",
+    "TaskBoundaryPolicy",
+    "WatchdogPolicy",
+    "make_policy",
+    "train_spendthrift_model",
+]

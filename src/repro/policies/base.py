@@ -1,0 +1,51 @@
+"""Backup-policy interface."""
+
+
+class PolicyAction:
+    """What the policy wants after an instruction retires."""
+
+    NONE = "none"
+    #: Back up now and keep executing (watchdog style).
+    BACKUP = "backup"
+    #: Back up now and end the active period (JIT / predictive style):
+    #: the device sleeps until the capacitor recharges.
+    SHUTDOWN = "shutdown"
+
+
+class BackupPolicy:
+    """Decides when backups happen, based on operating conditions only.
+
+    This is the decoupling the paper argues for: with NvMR the policy is
+    free to track the environment; with Clank the program's violations
+    dominate regardless of what the policy wants.
+    """
+
+    name = "base"
+
+    def reset(self, platform):
+        """Called once before a run starts."""
+
+    def on_period_start(self, platform, conditions):
+        """Called at the start of every active period.
+
+        ``conditions`` is the trace's
+        :class:`~repro.energy.traces.PeriodConditions`.
+        """
+
+    def on_backup(self, platform):
+        """Called after any backup (policy-driven or structural)."""
+
+    def after_step(self, platform, cycles):
+        """Called after each retired instruction; returns a PolicyAction."""
+        return PolicyAction.NONE
+
+
+class NeverPolicy(BackupPolicy):
+    """No policy backups; only the architecture's structural backups.
+
+    With a JIT-less schedule the device fails whenever the budget runs
+    out, which exercises the dead-energy and restore paths — useful in
+    tests, not used in the paper's experiments.
+    """
+
+    name = "never"

@@ -1,0 +1,38 @@
+"""The watchdog-timer backup policy.
+
+Backs up every ``period`` cycles (8000 in Clank [16] and in the paper).
+It never shuts the device down, so active periods end in genuine power
+failures and the energy spent since the last timer backup is dead
+(re-executed) energy — the paper's "most naive" scheme.
+"""
+
+from repro.policies.base import BackupPolicy, PolicyAction
+
+DEFAULT_PERIOD_CYCLES = 8000
+
+
+class WatchdogPolicy(BackupPolicy):
+    name = "watchdog"
+
+    def __init__(self, period=DEFAULT_PERIOD_CYCLES):
+        if period <= 0:
+            raise ValueError("watchdog period must be positive")
+        self.period = period
+        self._elapsed = 0
+
+    def reset(self, platform):
+        self._elapsed = 0
+
+    def on_period_start(self, platform, conditions):
+        self._elapsed = 0
+
+    def on_backup(self, platform):
+        # Any backup (including structural ones) restarts the timer —
+        # the data is freshly persisted either way.
+        self._elapsed = 0
+
+    def after_step(self, platform, cycles):
+        self._elapsed += cycles
+        if self._elapsed >= self.period:
+            return PolicyAction.BACKUP
+        return PolicyAction.NONE

@@ -1,0 +1,26 @@
+"""The intermittent-execution platform.
+
+:class:`~repro.sim.platform.Platform` wires a compiled program, an
+intermittent architecture, a backup policy, the supercapacitor/harvest
+trace and the energy ledger into the paper's execution loop: active
+periods of computation punctuated by backups, power failures and
+restores, until the program completes.
+
+:mod:`~repro.sim.reference` executes the same program on continuous
+power against flat memory — the ground truth that every intermittent
+run must match (the paper's correctness criterion).
+"""
+
+from repro.sim.platform import Platform, PlatformConfig, SimulationError
+from repro.sim.reference import run_reference
+from repro.sim.tracing import InstructionTracer
+from repro.sim.results import RunResult
+
+__all__ = [
+    "InstructionTracer",
+    "Platform",
+    "PlatformConfig",
+    "RunResult",
+    "SimulationError",
+    "run_reference",
+]

@@ -1,0 +1,331 @@
+"""The intermittent platform: CPU + architecture + policy + power supply.
+
+The run loop models the paper's execution environment:
+
+* an **active period** starts with the supercapacitor charged to the
+  budget the harvest trace allows, restores the last checkpoint, and
+  executes instructions;
+* every energy event draws from the capacitor; when a draw cannot be
+  paid, :class:`~repro.energy.accounting.PowerFailure` unwinds the
+  current instruction — volatile state is lost, everything charged
+  since the last persisted backup becomes *dead energy*, and the device
+  recharges and restores;
+* policies may back up mid-period (watchdog) or back up and shut down
+  cleanly (JIT / Spendthrift);
+* architectures may back up for structural reasons at any point;
+* the run ends when the program halts *and* a final backup has
+  persisted its outputs.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.arch import make_architecture
+from repro.arch.base import BackupReason
+from repro.energy.accounting import EnergyLedger, PowerFailure
+from repro.energy.capacitor import CAPACITOR_PRESETS, Supercapacitor
+from repro.energy.model import NVM_TECHNOLOGIES, EnergyModel
+from repro.energy.traces import HarvestTrace
+from repro.cpu.core import Core
+from repro.mem.nvm import NvmFlash
+from repro.policies import make_policy
+from repro.policies.base import PolicyAction
+from repro.sim.results import RunResult
+
+
+class SimulationError(Exception):
+    """The simulation could not make progress (timeout / livelock)."""
+
+
+@dataclass
+class PlatformConfig:
+    """All knobs of one experiment configuration (Table 2 defaults)."""
+
+    arch: str = "clank"
+    policy: str = "jit"
+    #: NVM technology preset: "flash" (default) or "fram" (footnote 8).
+    nvm_technology: str = "flash"
+    capacitor: str = "100mF"
+    capacitor_energy: float = None  # overrides the preset when set
+    cache_size: int = 256
+    cache_assoc: int = 8
+    block_size: int = 16
+    gbf_bits: int = 8
+    # NvMR structures
+    mtc_entries: int = 512
+    mtc_assoc: int = 8
+    map_table_entries: int = 4096
+    free_list_size: int = None  # None -> worst case
+    free_list_mode: str = "fifo"  # "lifo" only for the wear ablation
+    reclaim: bool = True
+    # HOOP structures (Table 4 lists 128 / 2048 for the paper's
+    # full-size workloads; scaled 4x down with our working sets so the
+    # buffer exerts the same backup pressure — see EXPERIMENTS.md)
+    oop_buffer_entries: int = 32
+    oop_region_slots: int = 512
+    # Hibernus SRAM model (extension architecture)
+    sram_limit_words: int = 4096
+    sram_floor_words: int = 256
+    # Original Clank structures (footnote 6 comparison)
+    read_first_entries: int = 24
+    write_first_entries: int = 24
+    write_buffer_entries: int = 16
+    # Policy parameters
+    watchdog_period: int = 8000
+    policy_kwargs: dict = field(default_factory=dict)
+    # Limits
+    max_steps: int = 5_000_000
+    max_periods: int = 200_000
+
+    def arch_kwargs(self):
+        common = dict(
+            cache_size=self.cache_size,
+            cache_assoc=self.cache_assoc,
+            block_size=self.block_size,
+        )
+        if self.arch in ("clank", "ideal"):
+            return dict(common, gbf_bits=self.gbf_bits)
+        if self.arch == "nvmr":
+            return dict(
+                common,
+                gbf_bits=self.gbf_bits,
+                mtc_entries=self.mtc_entries,
+                mtc_assoc=self.mtc_assoc,
+                map_table_entries=self.map_table_entries,
+                free_list_size=self.free_list_size,
+                free_list_mode=self.free_list_mode,
+                reclaim=self.reclaim,
+            )
+        if self.arch == "hoop":
+            return dict(
+                common,
+                oop_buffer_entries=self.oop_buffer_entries,
+                oop_region_slots=self.oop_region_slots,
+            )
+        if self.arch == "hibernus":
+            return dict(
+                sram_limit_words=self.sram_limit_words,
+                sram_floor_words=self.sram_floor_words,
+            )
+        if self.arch == "clank_original":
+            return dict(
+                read_first_entries=self.read_first_entries,
+                write_first_entries=self.write_first_entries,
+                write_buffer_entries=self.write_buffer_entries,
+            )
+        return common
+
+    def make_policy(self):
+        if not isinstance(self.policy, str):
+            # A user-supplied BackupPolicy instance (see
+            # examples/custom_policy.py).
+            return self.policy
+        kwargs = dict(self.policy_kwargs)
+        if self.policy == "watchdog" and "period" not in kwargs:
+            kwargs["period"] = self.watchdog_period
+        return make_policy(self.policy, **kwargs)
+
+    def capacitor_budget(self):
+        if self.capacitor_energy is not None:
+            return self.capacitor_energy
+        return CAPACITOR_PRESETS[self.capacitor]
+
+
+def default_config(**overrides):
+    """Table 2's configuration, with keyword overrides."""
+    return PlatformConfig(**overrides)
+
+
+class Platform:
+    """One program wired to one architecture/policy/trace combination."""
+
+    def __init__(self, program, config=None, trace=None, benchmark_name=""):
+        self.program = program
+        self.config = config or PlatformConfig()
+        self.trace = trace if trace is not None else HarvestTrace(0)
+        self.benchmark_name = benchmark_name or "program"
+        layout = program.layout
+
+        self.nvm = NvmFlash(layout.flash_size)
+        self.nvm.load_image(layout.data_base, program.data)
+        self.capacitor = Supercapacitor(self.config.capacitor_budget())
+        self.ledger = EnergyLedger(self.capacitor)
+        try:
+            self.energy = NVM_TECHNOLOGIES[self.config.nvm_technology]()
+        except KeyError:
+            raise ValueError(
+                f"unknown NVM technology {self.config.nvm_technology!r}; "
+                f"options: {sorted(NVM_TECHNOLOGIES)}"
+            ) from None
+        self.arch = make_architecture(
+            self.config.arch,
+            self.nvm,
+            self.ledger,
+            self.energy,
+            layout,
+            **self.config.arch_kwargs(),
+        )
+        self.core = Core(program, self.arch)
+        self.arch.attach_core(self.core)
+        self.policy = self.config.make_policy()
+
+        self.active_cycles = 0
+        self.off_cycles = 0
+        self.active_periods = 0
+        self.power_failures = 0
+        self.shutdowns = 0
+        #: Chronological run events: (active_cycle, kind, detail).
+        #: kinds: period / backup:<reason> / failure / shutdown / halt.
+        self.events = []
+        self._install_event_recorder()
+
+        self._cpu_cycle_energy = self.energy.cpu_cycle
+        self._leak = self.arch.leakage_per_cycle()
+        self._overhead_leak = getattr(self.arch, "overhead_leakage_per_cycle", None)
+        self._overhead_leak = self._overhead_leak() if self._overhead_leak else 0.0
+
+    def _install_event_recorder(self):
+        original_backup = self.arch.backup
+
+        def recorded_backup(reason):
+            original_backup(reason)
+            self.events.append((self.active_cycles, "backup", reason))
+
+        self.arch.backup = recorded_backup
+
+    # ------------------------------------------------------ power loop
+    def _start_period(self):
+        if self.active_periods >= self.config.max_periods:
+            raise SimulationError(
+                f"exceeded {self.config.max_periods} active periods; "
+                "the configuration cannot make forward progress"
+            )
+        conditions = self.trace.next_period()
+        self.capacitor.recharge(self.capacitor.capacity * conditions.budget_fraction)
+        self.off_cycles += conditions.recharge_cycles
+        self.active_periods += 1
+        self.events.append(
+            (self.active_cycles, "period", round(conditions.budget_fraction, 3))
+        )
+        self.policy.on_period_start(self, conditions)
+
+    def _recharge_and_restore(self):
+        """Sleep through recharge, then restore the last checkpoint.
+
+        A pathologically small budget can fail mid-restore; the device
+        then sleeps again (the period guard bounds this).
+        """
+        while True:
+            self._start_period()
+            try:
+                self.arch.restore()
+                self.ledger.commit_epoch()
+                return
+            except PowerFailure:
+                self.ledger.fail_epoch()
+                self.arch.on_power_failure()
+
+    def _power_failure(self):
+        self.power_failures += 1
+        self.events.append((self.active_cycles, "failure", None))
+        self.ledger.fail_epoch()
+        self.arch.on_power_failure()
+        self._recharge_and_restore()
+
+    def _shutdown(self):
+        """Graceful end of an active period (after a policy backup)."""
+        self.shutdowns += 1
+        self.events.append((self.active_cycles, "shutdown", None))
+        self.arch.on_power_failure()  # volatile state is lost while off
+        self._recharge_and_restore()
+
+    # ------------------------------------------------------------ run
+    def run(self):
+        """Execute the program to completion; returns a RunResult."""
+        core = self.core
+        policy = self.policy
+        ledger = self.ledger
+        arch = self.arch
+        policy.reset(self)
+        # Flashing the device includes its entry state: commit a free
+        # factory checkpoint so a restore target always exists, then
+        # charge a real initial backup once powered.
+        self.nvm.commit_checkpoint(arch.snapshot_payload())
+        self._start_period()
+        try:
+            arch.backup(BackupReason.INITIAL)
+        except PowerFailure:
+            self._power_failure()
+
+        step_energy = self._cpu_cycle_energy + self._leak
+        steps = 0
+        max_steps = self.config.max_steps
+        while True:
+            if core.halted:
+                try:
+                    arch.backup(BackupReason.FINAL)
+                    break
+                except PowerFailure:
+                    self._power_failure()
+                    continue
+            if steps >= max_steps:
+                raise SimulationError(f"exceeded {max_steps} instructions")
+            try:
+                cycles = core.step()
+                steps += 1
+                self.active_cycles += cycles
+                ledger.charge("forward", cycles * step_energy)
+                if self._overhead_leak:
+                    ledger.charge("forward_overhead", cycles * self._overhead_leak)
+                action = policy.after_step(self, cycles)
+                if action == PolicyAction.BACKUP:
+                    arch.backup(BackupReason.POLICY)
+                    policy.on_backup(self)
+                elif action == PolicyAction.SHUTDOWN:
+                    arch.backup(BackupReason.POLICY)
+                    policy.on_backup(self)
+                    self._shutdown()
+            except PowerFailure:
+                self._power_failure()
+        return self._result()
+
+    # ---------------------------------------------------------- result
+    def _result(self):
+        stats = self.arch.stats
+        cache = getattr(self.arch, "cache", None)
+        policy_name = (
+            self.config.policy
+            if isinstance(self.config.policy, str)
+            else getattr(self.policy, "name", type(self.policy).__name__)
+        )
+        return RunResult(
+            benchmark=self.benchmark_name,
+            arch=self.config.arch,
+            policy=policy_name,
+            breakdown=self.ledger.committed,
+            instructions=self.core.instructions_retired,
+            active_cycles=self.active_cycles,
+            off_cycles=self.off_cycles,
+            active_periods=self.active_periods,
+            power_failures=self.power_failures,
+            shutdowns=self.shutdowns,
+            backups=stats.backups,
+            backups_by_reason=dict(stats.backups_by_reason),
+            restores=stats.restores,
+            violations=stats.violations,
+            renames=stats.renames,
+            reclaims=stats.reclaims,
+            cache_hits=cache.hits if cache else 0,
+            cache_misses=cache.misses if cache else 0,
+            nvm_reads=self.nvm.reads,
+            nvm_writes=self.nvm.writes,
+            max_wear=self.nvm.max_wear,
+        )
+
+    # ----------------------------------------------------- inspection
+    def read_word(self, addr):
+        """Read program-visible memory after a run, resolving any
+        renaming/redo indirection (harness use; no energy charged)."""
+        return self.arch.debug_read_word(addr)
+
+    def read_words(self, addr, count):
+        return [self.read_word(addr + 4 * i) for i in range(count)]

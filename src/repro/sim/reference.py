@@ -1,0 +1,82 @@
+"""Continuously-powered reference execution.
+
+Runs a program to completion against flat memory with no caches, no
+backups and no failures.  Its final memory image is the ground truth an
+intermittent run must reproduce ("as if it had run in a
+continuously-powered system", paper Section 3).
+"""
+
+from repro.cpu.core import Core, MemorySystem
+
+
+class FlatMemory(MemorySystem):
+    """Flat, instantaneous, byte-addressable memory."""
+
+    def __init__(self, size):
+        self.size = size
+        self._words = {}
+
+    def _check(self, addr):
+        if not 0 <= addr < self.size:
+            raise ValueError(f"address out of range: {addr:#x}")
+
+    def load(self, addr, size):
+        self._check(addr)
+        word = self._words.get(addr & ~3, 0)
+        if size == 4:
+            return word, 0
+        return (word >> (8 * (addr & 3))) & 0xFF, 0
+
+    def store(self, addr, value, size):
+        self._check(addr)
+        aligned = addr & ~3
+        if size == 4:
+            self._words[aligned] = value & 0xFFFFFFFF
+        else:
+            shift = 8 * (addr & 3)
+            word = self._words.get(aligned, 0)
+            self._words[aligned] = (word & ~(0xFF << shift)) | ((value & 0xFF) << shift)
+        return 0
+
+    def load_image(self, addr, image):
+        for offset, byte in enumerate(image):
+            self.store(addr + offset, byte, 1)
+
+    def peek_word(self, addr):
+        return self._words.get(addr & ~3, 0)
+
+    def peek_bytes(self, addr, length):
+        return bytes(
+            (self._words.get((addr + i) & ~3, 0) >> (8 * ((addr + i) & 3))) & 0xFF
+            for i in range(length)
+        )
+
+
+class ReferenceResult:
+    """Outcome of a continuous run: final memory plus basic counts."""
+
+    def __init__(self, memory, instructions, cycles):
+        self.memory = memory
+        self.instructions = instructions
+        self.cycles = cycles
+
+    def word_at(self, addr):
+        return self.memory.peek_word(addr)
+
+    def words_at(self, addr, count):
+        return [self.memory.peek_word(addr + 4 * i) for i in range(count)]
+
+
+def run_reference(program, max_steps=50_000_000):
+    """Execute ``program`` to completion on continuous power."""
+    memory = FlatMemory(program.layout.flash_size)
+    memory.load_image(program.layout.data_base, program.data)
+    core = Core(program, memory)
+    cycles = 0
+    steps = 0
+    while not core.halted:
+        if steps >= max_steps:
+            raise RuntimeError(f"reference run exceeded {max_steps} steps")
+        cycles += core.step()
+        steps += 1
+    return ReferenceResult(memory, core.instructions_retired, cycles)

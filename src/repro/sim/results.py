@@ -1,0 +1,59 @@
+"""Run results: energy breakdown plus event counters."""
+
+from dataclasses import dataclass, field
+
+from repro.energy.accounting import EnergyBreakdown
+
+
+@dataclass
+class RunResult:
+    """Everything a completed intermittent run reports."""
+
+    benchmark: str
+    arch: str
+    policy: str
+    breakdown: EnergyBreakdown
+    instructions: int = 0
+    active_cycles: int = 0
+    off_cycles: int = 0
+    active_periods: int = 0
+    power_failures: int = 0
+    shutdowns: int = 0
+    backups: int = 0
+    backups_by_reason: dict = field(default_factory=dict)
+    restores: int = 0
+    violations: int = 0
+    renames: int = 0
+    reclaims: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    nvm_reads: int = 0
+    nvm_writes: int = 0
+    max_wear: int = 0
+
+    @property
+    def total_energy(self):
+        return self.breakdown.total
+
+    def energy_fraction(self, category):
+        total = self.total_energy
+        if total == 0:
+            return 0.0
+        return getattr(self.breakdown, category) / total
+
+    def summary(self):
+        """A compact printable summary line."""
+        return (
+            f"{self.benchmark:>14} {self.arch:>6}/{self.policy:<11} "
+            f"E={self.total_energy / 1e3:9.1f} uJ  "
+            f"backups={self.backups:5d}  violations={self.violations:6d}  "
+            f"failures={self.power_failures:4d}  instr={self.instructions}"
+        )
+
+
+def percent_energy_saved(baseline, candidate):
+    """Energy saved by ``candidate`` relative to ``baseline`` (percent,
+    positive = candidate uses less energy) — Figure 10/12's metric."""
+    if baseline.total_energy == 0:
+        return 0.0
+    return 100.0 * (1.0 - candidate.total_energy / baseline.total_energy)

@@ -1,0 +1,91 @@
+"""Execution tracing utilities.
+
+:class:`InstructionTracer` hooks a :class:`~repro.cpu.core.Core`'s
+retire callback and records ``(pc, disassembly, cycles)`` tuples —
+useful for debugging generated code and for the examples.  A ring-
+buffer capacity keeps long runs affordable; ``watch`` addresses record
+only matching program counters.
+"""
+
+from collections import deque
+
+from repro.isa.encoding import disassemble
+
+
+class InstructionTracer:
+    """Records retired instructions from an attached core.
+
+    Parameters
+    ----------
+    capacity:
+        Keep only the most recent ``capacity`` entries (ring buffer);
+        ``None`` keeps everything.
+    watch:
+        Optional set of program counters; when given, only those PCs
+        are recorded.
+    """
+
+    def __init__(self, capacity=1000, watch=None):
+        self.entries = deque(maxlen=capacity)
+        self.watch = set(watch) if watch else None
+        self.retired = 0
+        self.cycles = 0
+        self._core = None
+
+    # ------------------------------------------------------ lifecycle
+    def attach(self, core):
+        if self._core is not None:
+            raise RuntimeError("tracer already attached")
+        self._core = core
+        core.on_retire = self._record
+        return self
+
+    def detach(self):
+        if self._core is not None:
+            self._core.on_retire = None
+            self._core = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.detach()
+
+    # ------------------------------------------------------- recording
+    def _record(self, pc, instr, cycles):
+        self.retired += 1
+        self.cycles += cycles
+        if self.watch is not None and pc not in self.watch:
+            return
+        self.entries.append((pc, instr, cycles))
+
+    # ------------------------------------------------------- reporting
+    def lines(self, source_map=None):
+        """Render recorded entries as ``pc: disassembly  ; cycles``.
+
+        ``source_map`` may be a :class:`~repro.asm.program.Program`,
+        in which case each line is annotated with its source line.
+        """
+        out = []
+        for pc, instr, cycles in self.entries:
+            text = f"{pc:#08x}: {disassemble(instr):<28} ; {cycles} cycle(s)"
+            if source_map is not None:
+                try:
+                    index = source_map.instruction_index(pc)
+                    text += f"  [line {source_map.source_lines[index]}]"
+                except (ValueError, IndexError):
+                    pass
+            out.append(text)
+        return out
+
+    def histogram(self):
+        """Map pc -> execution count over the recorded window."""
+        counts = {}
+        for pc, _, _ in self.entries:
+            counts[pc] = counts.get(pc, 0) + 1
+        return counts
+
+    def hottest(self, top=10):
+        """The ``top`` most frequently recorded PCs, hottest first."""
+        counts = self.histogram()
+        return sorted(counts.items(), key=lambda kv: -kv[1])[:top]

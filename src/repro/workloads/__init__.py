@@ -1,0 +1,35 @@
+"""The paper's benchmark suite (Section 5.3).
+
+Seven MiBench kernels (adpcm_encode, basicmath, blowfish, dijkstra,
+picojpeg, qsort, stringsearch) and three PERFECT kernels (2dconv, dwt,
+hist), re-implemented in mini-C with deterministic synthetic inputs and
+validated against pure-Python reference models.
+
+Use :func:`run_workload` to execute one benchmark on an intermittent
+platform; it verifies the outputs against the reference and raises
+:class:`OutputMismatch` on any divergence.
+"""
+
+from repro.workloads.registry import (
+    BENCHMARKS,
+    OutputMismatch,
+    load_program,
+    reference_outputs,
+    register_workload,
+    run_workload,
+    unregister_workload,
+    verify_platform,
+    workload_source,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "OutputMismatch",
+    "load_program",
+    "reference_outputs",
+    "register_workload",
+    "run_workload",
+    "unregister_workload",
+    "verify_platform",
+    "workload_source",
+]

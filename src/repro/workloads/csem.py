@@ -1,0 +1,81 @@
+"""C-semantics integer helpers for the pure-Python reference models.
+
+The reference implementations in :mod:`repro.workloads.references` must
+match the TinyRISC/mini-C semantics bit-for-bit: 32-bit two's-complement
+wrapping, truncating division, arithmetic right shift, and the
+``__lsr``/``__udiv``/``__urem`` unsigned intrinsics.
+"""
+
+_M32 = 0xFFFFFFFF
+
+
+def u32(x):
+    """Unsigned 32-bit view."""
+    return x & _M32
+
+
+def w32(x):
+    """Signed 32-bit wrap (two's complement)."""
+    x &= _M32
+    return x - 0x100000000 if x & 0x80000000 else x
+
+
+def sdiv(a, b):
+    """C-style division: truncate toward zero; x/0 == 0 (TinyRISC)."""
+    if b == 0:
+        return 0
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def srem(a, b):
+    """C-style remainder: sign follows the dividend; x%0 == 0."""
+    if b == 0:
+        return 0
+    r = abs(a) % abs(b)
+    return -r if a < 0 else r
+
+
+def asr(x, n):
+    """Arithmetic shift right (Python's >> on ints is arithmetic)."""
+    return w32(x) >> (n & 31)
+
+
+def lsl(x, n):
+    return w32(u32(x) << (n & 31))
+
+
+def lsr(x, n):
+    """Logical shift right (the ``__lsr`` intrinsic)."""
+    return u32(x) >> (n & 31)
+
+
+def udiv(a, b):
+    """Unsigned division (the ``__udiv`` intrinsic)."""
+    if u32(b) == 0:
+        return 0
+    return u32(a) // u32(b)
+
+
+def urem(a, b):
+    """Unsigned remainder (the ``__urem`` intrinsic)."""
+    return w32(u32(a) - udiv(a, b) * u32(b))
+
+
+def lcg(seed):
+    """The shared benchmark LCG: ``seed * 1103515245 + 12345`` wrapped."""
+    return w32(seed * 1103515245 + 12345)
+
+
+def pack_chars(values):
+    """Pack a byte list into little-endian 32-bit words (char arrays)."""
+    words = []
+    padded = list(values) + [0] * ((-len(values)) % 4)
+    for i in range(0, len(padded), 4):
+        words.append(
+            (padded[i] & 0xFF)
+            | ((padded[i + 1] & 0xFF) << 8)
+            | ((padded[i + 2] & 0xFF) << 16)
+            | ((padded[i + 3] & 0xFF) << 24)
+        )
+    return words

@@ -1,0 +1,608 @@
+"""Pure-Python reference models of the ten benchmarks.
+
+Each ``ref_*`` function mirrors its mini-C source
+(``sources/*.mc``) statement-for-statement using the C-semantics helpers
+in :mod:`repro.workloads.csem`, and returns ``{symbol: [u32 words]}``
+for every output object.  The test suite checks three-way agreement:
+
+    Python model == TinyRISC continuous run == intermittent run
+
+which validates the compiler, the ISA simulator and the intermittent
+architectures independently.
+"""
+
+from repro.workloads.csem import (
+    asr,
+    lcg,
+    lsr,
+    pack_chars,
+    sdiv,
+    srem,
+    u32,
+    w32,
+)
+
+# --------------------------------------------------------------- adpcm
+_STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+    19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+    130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+    337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+_INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+
+
+def ref_adpcm_encode():
+    n = 320
+
+    def tri(t, q):
+        phase = srem(t, 64)
+        if phase < 16:
+            return sdiv(phase * q, 16)
+        if phase < 48:
+            return q - sdiv((phase - 16) * q, 16)
+        return sdiv((phase - 48) * q, 16) - q
+
+    pcm = []
+    seed = 20220618
+    for i in range(n):
+        seed = lcg(seed)
+        noise = (lsr(seed, 18) & 0xFF) - 128
+        pcm.append(w32(tri(i, 9000) + tri(i * 3 + 7, 2500) + noise * 4))
+
+    valpred = 0
+    index = 0
+    code = []
+    for val in pcm:
+        step = _STEP_TABLE[index]
+        diff = w32(val - valpred)
+        sign = 0
+        if diff < 0:
+            sign = 8
+            diff = -diff
+        delta = 0
+        vpdiff = asr(step, 3)
+        if diff >= step:
+            delta = 4
+            diff -= step
+            vpdiff += step
+        step = asr(step, 1)
+        if diff >= step:
+            delta |= 2
+            diff -= step
+            vpdiff += step
+        step = asr(step, 1)
+        if diff >= step:
+            delta |= 1
+            vpdiff += step
+        if sign:
+            valpred = w32(valpred - vpdiff)
+        else:
+            valpred = w32(valpred + vpdiff)
+        if valpred > 32767:
+            valpred = 32767
+        elif valpred < -32768:
+            valpred = -32768
+        delta |= sign
+        index += _INDEX_TABLE[delta]
+        index = min(max(index, 0), 88)
+        code.append(delta)
+
+    checksum = 0
+    for c in code:
+        checksum = w32(checksum * 31 + c)
+    return {
+        "g_code": [u32(c) for c in code],
+        "g_result": [u32(valpred), u32(index), u32(checksum), u32(n)],
+    }
+
+
+# ----------------------------------------------------------- basicmath
+def _isqrt(x):
+    rem = 0
+    root = 0
+    for _ in range(16):
+        root = w32(root << 1)
+        rem = w32((w32(rem << 2)) | lsr(x, 30))
+        x = w32(x << 2)
+        root = w32(root + 1)
+        if root <= rem:
+            rem = w32(rem - root)
+            root = w32(root + 1)
+        else:
+            root = w32(root - 1)
+    return lsr(root, 1)
+
+
+def _icbrt(x):
+    if x <= 0:
+        return 0
+    guess = min(x, 1290)
+    for _ in range(24):
+        g2 = w32(guess * guess)
+        if g2 == 0:
+            g2 = 1
+        nxt = sdiv(w32(2 * guess + sdiv(x, g2)), 3)
+        if nxt >= guess:
+            break
+        guess = nxt
+    while w32(guess * guess * guess) > x:
+        guess -= 1
+    return guess
+
+
+def ref_basicmath():
+    nsqrt, ncube, nang = 96, 32, 64
+    checksum = 0
+    seed = 777
+    sqrt_out = []
+    for _ in range(nsqrt):
+        seed = lcg(seed)
+        sqrt_out.append(_isqrt(lsr(seed, 4) & 0xFFFFFF))
+        checksum = w32(checksum + sqrt_out[-1])
+    cube_out = []
+    for _ in range(ncube):
+        seed = lcg(seed)
+        cube_out.append(_icbrt(lsr(seed, 8) & 0xFFFFF))
+        checksum = w32(checksum + cube_out[-1])
+    angle_out = []
+    for i in range(nang):
+        angle_out.append(sdiv(w32(i * 4 * 205887), 180))
+        checksum = w32(checksum + (angle_out[-1] & 0xFFFF))
+
+    def cubic_eval(x, a, b, c):
+        x2 = asr(w32(x * x), 8)
+        x3 = asr(w32(x2 * x), 8)
+        return w32(x3 + asr(w32(a * x2), 8) + asr(w32(b * x), 8) + c)
+
+    def cubic_root(a, b, c, lo, hi):
+        for _ in range(24):
+            mid = sdiv(lo + hi, 2)
+            if cubic_eval(mid, a, b, c) > 0:
+                hi = mid
+            else:
+                lo = mid
+        return sdiv(lo + hi, 2)
+
+    r0 = cubic_root(-6 * 256, 11 * 256, -6 * 256, 0, 384)
+    r1 = cubic_root(-6 * 256, 11 * 256, -6 * 256, 640, 1024)
+    return {
+        "g_sqrt_out": [u32(v) for v in sqrt_out],
+        "g_cube_out": [u32(v) for v in cube_out],
+        "g_angle_out": [u32(v) for v in angle_out],
+        "g_result": [u32(r0), u32(r1), u32(checksum), u32(sqrt_out[0] + cube_out[0])],
+    }
+
+
+# ------------------------------------------------------------ blowfish
+def ref_blowfish():
+    nblk = 16
+    # init_tables (u32 domain throughout)
+    seed = w32(0x9E3779B9)
+    p = []
+    for _ in range(18):
+        seed = lcg(seed)
+        p.append(u32(seed))
+    s = []
+    for _ in range(128):
+        seed = lcg(seed)
+        s.append(u32(seed))
+    key = []
+    for _ in range(8):
+        seed = lcg(seed)
+        key.append(u32(seed))
+    data_l, data_r = [], []
+    for _ in range(nblk):
+        seed = lcg(seed)
+        data_l.append(u32(seed))
+        seed = lcg(seed)
+        data_r.append(u32(seed))
+
+    def f(x):
+        a = (x >> 27) & 31
+        b = (x >> 19) & 31
+        c = (x >> 11) & 31
+        d = (x >> 3) & 31
+        return u32(u32(u32(s[a] + s[32 + b]) ^ s[64 + c]) + s[96 + d])
+
+    def encrypt(xl, xr):
+        for i in range(16):
+            xl ^= p[i]
+            xr = u32(xr ^ f(xl))
+            xl, xr = xr, xl
+        xl, xr = xr, xl
+        xr ^= p[16]
+        xl ^= p[17]
+        return u32(xl), u32(xr)
+
+    def decrypt(xl, xr):
+        for i in range(17, 1, -1):
+            xl ^= p[i]
+            xr = u32(xr ^ f(xl))
+            xl, xr = xr, xl
+        xl, xr = xr, xl
+        xr ^= p[1]
+        xl ^= p[0]
+        return u32(xl), u32(xr)
+
+    # key_schedule
+    for i in range(18):
+        p[i] = u32(p[i] ^ key[i % 8])
+    l = r = 0
+    for i in range(0, 18, 2):
+        l, r = encrypt(l, r)
+        p[i] = l
+        p[i + 1] = r
+    for i in range(0, 128, 2):
+        l, r = encrypt(l, r)
+        s[i] = l
+        s[i + 1] = r
+
+    # CBC encrypt
+    cl, cr = 0x12345678, 0x0BADCAFE
+    out_l, out_r = [], []
+    checksum = 0
+    for i in range(nblk):
+        cl, cr = encrypt(data_l[i] ^ cl, data_r[i] ^ cr)
+        out_l.append(cl)
+        out_r.append(cr)
+        checksum = u32(checksum ^ u32(cl + cr))
+    # CBC decrypt + verify
+    cl, cr = 0x12345678, 0x0BADCAFE
+    ok = 1
+    for i in range(nblk):
+        dl, dr = decrypt(out_l[i], out_r[i])
+        if (dl ^ cl) != data_l[i] or (dr ^ cr) != data_r[i]:
+            ok = 0
+        cl, cr = out_l[i], out_r[i]
+    return {
+        "g_out_l": out_l,
+        "g_out_r": out_r,
+        "g_result": [u32(checksum), ok, out_l[-1], out_r[-1]],
+    }
+
+
+# ------------------------------------------------------------ dijkstra
+def ref_dijkstra():
+    v = 20
+    inf = 0x3FFFFFFF
+    queries = 4
+    seed = w32(0xDEADBEEF)
+    adj = [[0] * v for _ in range(v)]
+    for i in range(v):
+        for j in range(v):
+            seed = lcg(seed)
+            if i == j:
+                adj[i][j] = 0
+            elif (lsr(seed, 16) & 7) < 2:
+                adj[i][j] = inf
+            else:
+                adj[i][j] = (lsr(seed, 20) & 63) + 1
+
+    dist_rows = [[0] * v for _ in range(v)]  # dist[400] = 20 rows
+    checksum = 0
+    for q in range(queries):
+        source = (q * 3) % v
+        dist = [inf] * v
+        visited = [0] * v
+        dist[source] = 0
+        for _ in range(v):
+            best, u_node = inf, -1
+            for i in range(v):
+                if not visited[i] and dist[i] < best:
+                    best = dist[i]
+                    u_node = i
+            if u_node < 0:
+                break
+            visited[u_node] = 1
+            for i in range(v):
+                w = adj[u_node][i]
+                if w < inf and dist[u_node] + w < dist[i]:
+                    dist[i] = dist[u_node] + w
+        dist_rows[q] = dist
+        for d in dist:
+            if d < inf:
+                checksum = w32(checksum * 31 + d)
+    flat = [u32(x) for row in dist_rows[:queries] for x in row]
+    return {
+        "g_dist": flat,
+        "g_result": [
+            u32(checksum),
+            u32(dist_rows[0][v - 1]),
+            u32(dist_rows[1][3]),
+            queries,
+        ],
+    }
+
+
+# ------------------------------------------------------------ picojpeg
+_QUANT = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+]
+
+
+def ref_picojpeg():
+    nb = 10
+    c1, c2, c3, c5, c6, c7 = 4017, 3784, 3406, 2276, 1567, 799
+
+    def idct_1d(block, base, stride):
+        s = [block[base + k * stride] for k in range(8)]
+        e0 = w32((s[0] + s[4]) * 4096)
+        e1 = w32((s[0] - s[4]) * 4096)
+        e2 = w32(s[2] * c6 - s[6] * c2)
+        e3 = w32(s[2] * c2 + s[6] * c6)
+        o0 = w32(s[1] * c7 - s[7] * c1)
+        o1 = w32(s[1] * c1 + s[7] * c7)
+        o2 = w32(s[5] * c3 - s[3] * c5)
+        o3 = w32(s[5] * c5 + s[3] * c3)
+        t0, t3 = w32(e0 + e3), w32(e0 - e3)
+        t1, t2 = w32(e1 + e2), w32(e1 - e2)
+        u0, u3 = w32(o1 + o3), w32(o1 - o3)
+        u1, u2 = w32(o0 + o2), w32(o0 - o2)
+        v2 = asr(w32((u3 - u1) * 2896), 12)
+        v3 = asr(w32((u3 + u1) * 2896), 12)
+        block[base] = asr(w32(t0 + u0), 12)
+        block[base + 7 * stride] = asr(w32(t0 - u0), 12)
+        block[base + stride] = asr(w32(t1 + v3), 12)
+        block[base + 6 * stride] = asr(w32(t1 - v3), 12)
+        block[base + 2 * stride] = asr(w32(t2 + v2), 12)
+        block[base + 5 * stride] = asr(w32(t2 - v2), 12)
+        block[base + 3 * stride] = asr(w32(t3 + u2), 12)
+        block[base + 4 * stride] = asr(w32(t3 - u2), 12)
+
+    pixels = []
+    seed = 0x1EC0DE
+    for b in range(nb):
+        seed = lcg(seed)
+        block_seed = seed
+        coeffs = [0] * 64
+        coeffs[0] = w32(((lsr(block_seed, 7) & 255) - 128) * _QUANT[0])
+        s_local = block_seed
+        for i in range(1, 64):
+            s_local = lcg(s_local)
+            if (lsr(s_local, 11) & 63) < (64 // (i + 3)):
+                coeffs[i] = w32(((lsr(s_local, 17) & 31) - 16) * _QUANT[i])
+        block = list(coeffs)
+        for row in range(8):
+            idct_1d(block, row * 8, 1)
+        for col in range(8):
+            idct_1d(block, col, 8)
+        for i in range(64):
+            p = asr(block[i], 3) + 128
+            p = min(max(p, 0), 255)
+            pixels.append(p)
+
+    checksum = 0
+    for p in pixels:
+        checksum = w32(checksum * 31 + p)
+    return {
+        "g_pixels": [u32(p) for p in pixels],
+        "g_result": [u32(checksum), pixels[0], pixels[-1], nb],
+    }
+
+
+# --------------------------------------------------------------- qsort
+def ref_qsort():
+    n = 220
+    seed = 0x5EED
+    arr = []
+    for _ in range(n):
+        seed = lcg(seed)
+        arr.append(lsr(seed, 8) & 0xFFFF)
+    arr.sort()  # quicksort is a sort; any correct sort agrees
+    checksum = 0
+    for x in arr:
+        checksum = w32(checksum * 31 + x)
+    return {
+        "g_arr": [u32(x) for x in arr],
+        "g_result": [1, u32(checksum), arr[0], arr[-1]],
+    }
+
+
+# -------------------------------------------------------- stringsearch
+def ref_stringsearch():
+    text_len = 900
+    words = b"the quick brown fox jumps over lazy dog and runs far away now "
+    words = words + bytes(64 - len(words))
+    seed = 0x7E97
+    text = bytearray()
+    for _ in range(text_len - 1):
+        seed = lcg(seed)
+        text.append(words[lsr(seed, 16) & 63])
+    text.append(0)
+
+    def search(pattern):
+        m = len(pattern)
+        shift = {i: m for i in range(256)}
+        for i in range(m - 1):
+            shift[pattern[i]] = m - 1 - i
+        count = 0
+        pos_sum = 0
+        pos = 0
+        limit = text_len - 1 - m
+        while pos <= limit:
+            k = m - 1
+            while k >= 0 and text[pos + k] == pattern[k]:
+                k -= 1
+            if k < 0:
+                count += 1
+                pos_sum += pos
+            pos += shift[text[pos + m - 1]]
+        return count, pos_sum
+
+    total = 0
+    pos_sum = 0
+    for pat in (b"the", b"fox ", b"jumps", b"away", b"zzz"):
+        c, p = search(pat)
+        total += c
+        pos_sum += p
+    return {"g_result": [u32(total), u32(pos_sum), text[100], text_len]}
+
+
+# -------------------------------------------------------------- conv2d
+def ref_conv2d():
+    w, h = 16, 16
+    kernel = [-1, -2, -1, -2, 28, -2, -1, -2, -1]
+    seed = 0x1A9E
+    image = [0] * (w * h)
+    for y in range(h):
+        for x in range(w):
+            seed = lcg(seed)
+            noise = lsr(seed, 22) & 31
+            image[y * w + x] = ((x * 5 + y * 9) & 127) + noise
+
+    def clamp(v, hi):
+        return min(max(v, 0), hi)
+
+    output = [0] * (w * h)
+    for y in range(h):
+        for x in range(w):
+            acc = 0
+            for ky in (-1, 0, 1):
+                for kx in (-1, 0, 1):
+                    sy = clamp(y + ky, h - 1)
+                    sx = clamp(x + kx, w - 1)
+                    acc = w32(
+                        acc + image[sy * w + sx] * kernel[(ky + 1) * 3 + (kx + 1)]
+                    )
+            acc = asr(acc, 4)
+            acc = min(max(acc, 0), 255)
+            output[y * w + x] = acc
+    checksum = 0
+    for v in output:
+        checksum = w32(checksum * 31 + v)
+    return {
+        "g_output": [u32(v) for v in output],
+        "g_result": [
+            u32(checksum),
+            output[0],
+            output[w * h // 2],
+            output[w * h - 1],
+        ],
+    }
+
+
+# ----------------------------------------------------------------- dwt
+def ref_dwt():
+    size = 16
+    seed = 0xD1D1
+    image = [0] * (size * size)
+    for y in range(size):
+        for x in range(size):
+            seed = lcg(seed)
+            image[y * size + x] = ((x * x + y * 3) & 63) + (lsr(seed, 20) & 63)
+    saved = list(image)
+
+    def haar_fwd(base, stride, n):
+        half = n // 2
+        temp = [0] * n
+        for k in range(half):
+            a = image[base + 2 * k * stride]
+            b = image[base + (2 * k + 1) * stride]
+            d = w32(b - a)
+            s = w32(a + asr(d, 1))
+            temp[k] = s
+            temp[half + k] = d
+        for k in range(n):
+            image[base + k * stride] = temp[k]
+
+    def haar_inv(base, stride, n):
+        half = n // 2
+        temp = [0] * n
+        for k in range(half):
+            s = image[base + k * stride]
+            d = image[base + (half + k) * stride]
+            a = w32(s - asr(d, 1))
+            b = w32(a + d)
+            temp[2 * k] = a
+            temp[2 * k + 1] = b
+        for k in range(n):
+            image[base + k * stride] = temp[k]
+
+    def fwd(n):
+        for i in range(n):
+            haar_fwd(i * size, 1, n)
+        for i in range(n):
+            haar_fwd(i, size, n)
+
+    def inv(n):
+        for i in range(n):
+            haar_inv(i, size, n)
+        for i in range(n):
+            haar_inv(i * size, 1, n)
+
+    fwd(size)
+    fwd(size // 2)
+    checksum = 0
+    for v in image:
+        checksum = w32(checksum * 31 + v)
+    inv(size // 2)
+    inv(size)
+    ok = 1 if image == saved else 0
+    return {
+        "g_image": [u32(v) for v in image],
+        "g_result": [u32(checksum), ok, u32(image[0]), u32(image[-1])],
+    }
+
+
+# ---------------------------------------------------------------- hist
+def ref_hist():
+    npix = 768
+    seed = 0x817
+    image = bytearray()
+    for _ in range(npix):
+        seed = lcg(seed)
+        a = lsr(seed, 9) & 127
+        seed = lcg(seed)
+        b = lsr(seed, 13) & 63
+        image.append((32 + a + (b >> 1)) & 0xFF)
+
+    histogram = [0] * 256
+    for p in image:
+        histogram[p] += 1
+    cdf = []
+    running = 0
+    for i in range(256):
+        running += histogram[i]
+        cdf.append(running)
+    cdf_min = next((c for c in cdf if c != 0), 0)
+    lut = []
+    den = npix - cdf_min
+    if den <= 0:
+        den = 1
+    for i in range(256):
+        lut.append(sdiv((cdf[i] - cdf_min) * 255, den) & 0xFF)
+    remapped = bytearray(lut[p] for p in image)
+    checksum = 0
+    for p in remapped:
+        checksum = w32(checksum * 31 + p)
+    return {
+        "g_image": pack_chars(remapped),
+        "g_result": [u32(checksum), remapped[0], remapped[-1], cdf[255]],
+    }
+
+
+REFERENCES = {
+    "adpcm_encode": ref_adpcm_encode,
+    "basicmath": ref_basicmath,
+    "blowfish": ref_blowfish,
+    "dijkstra": ref_dijkstra,
+    "picojpeg": ref_picojpeg,
+    "qsort": ref_qsort,
+    "stringsearch": ref_stringsearch,
+    "2dconv": ref_conv2d,
+    "dwt": ref_dwt,
+    "hist": ref_hist,
+}

@@ -1,0 +1,168 @@
+"""Experiment drivers: smoke runs and reporting formats."""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentSettings,
+    fig10_backup_schemes,
+    fig14_reclaim,
+    format_breakdowns,
+    format_mapping,
+    format_matrix,
+    format_series,
+    overheads_study,
+    table2_configuration,
+    table3_violations,
+    table4_hoop_configuration,
+)
+from repro.analysis.experiments import (
+    cached_run,
+    clear_run_cache,
+    fig11_energy_breakdown,
+)
+from repro.sim.platform import PlatformConfig
+
+SMOKE = ExperimentSettings.smoke()
+
+
+def test_table2_lists_paper_structures():
+    table = table2_configuration()
+    assert "Map Table Cache" in table
+    assert "512" in table["Map Table Cache"]
+    assert "4096" in table["Map Table"]
+    assert "4609" in table["Free List"]
+    assert "2MB" in table["Flash"]
+
+
+def test_table4_hoop_structures():
+    table = table4_hoop_configuration()
+    assert "Infinite" in table["Mapping Table"]
+    # Live scaled values plus the paper's originals for traceability.
+    assert "32" in table["OOP Buffer"] and "128" in table["OOP Buffer"]
+    assert "512" in table["OOP Region"] and "2048" in table["OOP Region"]
+
+
+def test_table3_counts_violations():
+    counts = table3_violations(SMOKE)
+    assert set(counts) == set(SMOKE.benchmarks)
+    assert counts["qsort"] > 0
+
+
+def test_fig10_smoke_has_average():
+    results = fig10_backup_schemes(SMOKE, policies=("jit",))
+    assert "average" in results["jit"]
+    assert set(SMOKE.benchmarks) <= set(results["jit"])
+    # qsort is violation-heavy: NvMR must save energy under JIT.
+    assert results["jit"]["qsort"] > 0
+
+
+def test_fig11_breakdowns_normalised_to_clank():
+    out = fig11_energy_breakdown(ExperimentSettings.smoke())
+    for bench, per_arch in out.items():
+        clank_total = sum(per_arch["clank"].values())
+        assert clank_total == pytest.approx(1.0)
+        assert sum(per_arch["nvmr"].values()) > 0
+
+
+def test_fig14_reclaim_shape():
+    out = fig14_reclaim(ExperimentSettings.smoke())
+    assert "average" in out
+    assert set(out["qsort"]) == {"reclaim", "no_reclaim"}
+
+
+def test_overheads_study_fields():
+    out = overheads_study(SMOKE)
+    assert 0 < out["mtc_area_overhead_percent"] < 15
+    assert 0 < out["reserved_region_percent_of_flash"] < 10
+    assert out["backup_reduction_factor"] > 1
+    assert out["max_wear_reduction_percent"] > 0
+
+
+def test_cached_run_reuses_results():
+    clear_run_cache()
+    config = PlatformConfig(arch="clank", policy="jit")
+    first = cached_run("qsort", config, 0)
+    second = cached_run("qsort", config, 0)
+    assert first is second
+    different = cached_run("qsort", PlatformConfig(arch="nvmr", policy="jit"), 0)
+    assert different is not first
+
+
+def test_settings_profiles():
+    full = ExperimentSettings.full()
+    assert full.traces == 10  # the paper's averaging
+    assert len(full.benchmarks) == 10
+    quick = ExperimentSettings()
+    assert quick.traces < full.traces
+
+
+# ------------------------------------------------------------ reporting
+def test_format_matrix():
+    text = format_matrix("T", {"jit": {"qsort": 20.5, "average": 10.0}})
+    assert "T" in text and "qsort" in text and "+20.5" in text
+
+
+def test_format_series():
+    text = format_series("S", {32: 1.0, 64: 2.5})
+    assert "S" in text and "+2.50%" in text
+
+
+def test_format_mapping():
+    text = format_mapping("Cfg", {"Flash": "2MB"})
+    assert "Flash" in text and "2MB" in text
+
+
+def test_format_breakdowns():
+    data = {"qsort": {"clank": {"forward": 0.7, "backup": 0.3}}}
+    text = format_breakdowns("B", data)
+    assert "qsort" in text and "forward" in text
+
+
+def test_generate_report_restricted_sections():
+    from repro.analysis.report import generate_report
+
+    text = generate_report(SMOKE, sections=["table 2", "table 4"])
+    assert "## Table 2" in text
+    assert "## Table 4" in text
+    assert "Figure 10" not in text
+
+
+def test_extension_nvm_technology_shape():
+    from repro.analysis import extension_nvm_technology
+
+    out = extension_nvm_technology(
+        ExperimentSettings(sweep_benchmarks=["qsort"], sweep_traces=1)
+    )
+    assert out["flash"] > out["fram"]
+
+
+def test_fig10_with_variance_fields():
+    from repro.analysis import fig10_with_variance
+
+    out = fig10_with_variance(ExperimentSettings.smoke())
+    for bench, stats in out.items():
+        assert set(stats) == {"mean", "std"}
+        assert stats["std"] >= 0.0
+
+
+def test_fig13a_and_13d_smoke():
+    from repro.analysis import fig13a_mtc_size, fig13d_capacitor
+
+    small = ExperimentSettings(
+        traces=1, sweep_traces=1,
+        benchmarks=["qsort"], sweep_benchmarks=["qsort"],
+    )
+    sizes = fig13a_mtc_size(small, sizes=(32, 512))
+    assert set(sizes) == {32, 512}
+    caps = fig13d_capacitor(small, presets=("500uF", "100mF"))
+    # Bigger capacitor -> longer sections -> more savings (Fig 13d).
+    assert caps["100mF"] > caps["500uF"]
+
+
+def test_full_mode_env_switch(monkeypatch):
+    monkeypatch.setenv("REPRO_FULL", "1")
+    assert ExperimentSettings.default().traces == 10
+    monkeypatch.setenv("REPRO_FULL", "0")
+    assert ExperimentSettings.default().traces == 2
+    monkeypatch.delenv("REPRO_FULL")
+    assert ExperimentSettings.default().traces == 2

@@ -1,0 +1,45 @@
+"""Parallel experiment prefetching."""
+
+from dataclasses import replace
+
+from repro.analysis import ExperimentSettings, cached_run
+from repro.analysis.experiments import _config_key, _run_cache, clear_run_cache
+from repro.analysis.parallel import (
+    all_headline_jobs,
+    fig10_jobs,
+    prefetch_runs,
+    table3_jobs,
+)
+from repro.sim.platform import PlatformConfig
+
+SMOKE = ExperimentSettings(traces=1, benchmarks=["qsort"], sweep_benchmarks=["qsort"])
+
+
+def test_job_sets_cover_expected_shape():
+    jobs = fig10_jobs(SMOKE, policies=("jit",))
+    assert len(jobs) == 2  # clank + nvmr, one bench, one trace
+    assert {config.arch for _, config, _ in jobs} == {"clank", "nvmr"}
+    assert len(table3_jobs(SMOKE)) == 1
+    assert len(all_headline_jobs(SMOKE)) > len(jobs)
+
+
+def test_prefetch_seeds_cache_serial():
+    clear_run_cache()
+    jobs = fig10_jobs(SMOKE, policies=("jit",))
+    fresh = prefetch_runs(jobs, workers=1)
+    assert fresh == 2
+    # All jobs now cached: a second prefetch does nothing.
+    assert prefetch_runs(jobs, workers=1) == 0
+    for benchmark, config, seed in jobs:
+        assert (benchmark, _config_key(config), seed) in _run_cache
+
+
+def test_parallel_matches_serial():
+    clear_run_cache()
+    config = PlatformConfig(arch="clank", policy="jit")
+    prefetch_runs([("qsort", config, 0)], workers=2)
+    parallel_result = cached_run("qsort", replace(config), 0)
+    clear_run_cache()
+    serial_result = cached_run("qsort", replace(config), 0)
+    assert parallel_result.total_energy == serial_result.total_energy
+    assert parallel_result.backups == serial_result.backups

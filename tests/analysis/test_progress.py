@@ -1,0 +1,42 @@
+"""EH-model forward-progress metrics."""
+
+import pytest
+
+from repro.analysis.progress import progress_metrics
+from repro.workloads import run_workload
+
+
+def test_jit_run_is_fully_useful():
+    result = run_workload("qsort", arch="nvmr", policy="jit", trace_seed=0)
+    metrics = progress_metrics(result)
+    # JIT never re-executes: every retired instruction was useful.
+    assert metrics.useful_instruction_fraction == pytest.approx(1.0)
+    assert 0.0 < metrics.forward_energy_fraction < 1.0
+    assert metrics.forward_energy_fraction + metrics.overhead_energy_fraction == (
+        pytest.approx(1.0)
+    )
+    assert metrics.time_overhead >= 1.0
+    assert 0.0 < metrics.duty_cycle < 1.0
+    assert "qsort" in metrics.summary()
+
+
+def test_watchdog_reexecution_lowers_usefulness():
+    watchdog = progress_metrics(
+        run_workload("qsort", arch="clank", policy="watchdog", trace_seed=1)
+    )
+    jit = progress_metrics(
+        run_workload("qsort", arch="clank", policy="jit", trace_seed=1)
+    )
+    assert watchdog.useful_instruction_fraction < jit.useful_instruction_fraction
+
+
+def test_nvmr_more_forward_energy_than_clank():
+    """NvMR converts a larger share of energy into forward progress —
+    the paper's bottom line restated as an EH-model metric."""
+    clank = progress_metrics(
+        run_workload("hist", arch="clank", policy="jit", trace_seed=0)
+    )
+    nvmr = progress_metrics(
+        run_workload("hist", arch="nvmr", policy="jit", trace_seed=0)
+    )
+    assert nvmr.forward_energy_fraction > clank.forward_energy_fraction

@@ -1,0 +1,56 @@
+"""ASCII run timelines."""
+
+from repro.analysis.timeline import render_timeline
+from repro.energy.traces import HarvestTrace
+from repro.sim.platform import Platform, PlatformConfig
+from repro.workloads import load_program
+
+
+def run_platform(policy="watchdog", arch="clank"):
+    platform = Platform(
+        load_program("qsort"),
+        PlatformConfig(arch=arch, policy=policy),
+        trace=HarvestTrace(1),
+        benchmark_name="qsort",
+    )
+    platform.run()
+    return platform
+
+
+def test_timeline_renders_periods_and_events():
+    platform = run_platform()
+    text = render_timeline(platform, width=40)
+    assert "period   1" in text
+    assert "b" in text  # initial backup mark
+    assert "F" in text or "." in text  # completion
+    rows = [l for l in text.splitlines() if l.startswith("period")]
+    assert any(row.endswith("X") for row in rows)  # real failures happen
+    assert len(rows) == platform.active_periods
+
+
+def test_timeline_jit_shows_shutdowns():
+    platform = run_platform(policy="jit")
+    rows = [
+        line for line in render_timeline(platform).splitlines()
+        if line.startswith("period")
+    ]
+    assert any(row.endswith("Z") for row in rows)  # graceful shutdowns
+    assert not any(row.endswith("X") for row in rows)  # no failures
+
+
+def test_timeline_clank_violation_marks():
+    platform = run_platform(policy="jit", arch="clank")
+    rows = [
+        line for line in render_timeline(platform).splitlines()
+        if line.startswith("period")
+    ]
+    assert any("V" in row for row in rows)  # violation backups visible
+
+
+def test_timeline_empty_platform():
+    platform = Platform(
+        load_program("qsort"),
+        PlatformConfig(),
+        trace=HarvestTrace(0),
+    )
+    assert "no events" in render_timeline(platform)

@@ -1,0 +1,151 @@
+"""Clank: violation detection and backup behaviour.
+
+The default cache is 256B/8-way/16B blocks = 2 sets.  Block addresses
+that are multiples of 32 map to set 0, so a run of 9 such blocks forces
+an eviction from set 0.
+"""
+
+from repro.arch.base import BackupReason
+
+from tests.arch.conftest import load_word, make_arch, store_word
+
+
+def set0_blocks(base, count):
+    """Block addresses all mapping to cache set 0."""
+    return [base + i * 32 for i in range(count)]
+
+
+def fill_set0(arch, base, count=8, write=False):
+    for addr in set0_blocks(base, count):
+        if write:
+            store_word(arch, addr, addr)
+        else:
+            load_word(arch, addr)
+
+
+def test_write_dominated_eviction_is_silent(data_base):
+    arch = make_arch("clank")
+    arch.backup(BackupReason.INITIAL)
+    # Store-first to 8 set-0 blocks, then touch a 9th: the evicted dirty
+    # block is write-dominated -> persisted in place, no backup.
+    fill_set0(arch, data_base, 8, write=True)
+    before = arch.stats.backups
+    store_word(arch, data_base + 8 * 32, 1)
+    assert arch.stats.backups == before
+    assert arch.stats.violations == 0
+    # The evicted block's data reached its home address.
+    assert arch.nvm.peek_word(data_base) == data_base
+
+
+def test_read_then_write_eviction_triggers_violation_backup(data_base):
+    arch = make_arch("clank")
+    arch.backup(BackupReason.INITIAL)
+    # Load-first then store: the block becomes read-dominated + dirty.
+    load_word(arch, data_base)
+    store_word(arch, data_base, 42)
+    before = arch.stats.backups
+    # Evict it by touching 8 more set-0 blocks.
+    fill_set0(arch, data_base + 32, 8)
+    assert arch.stats.violations == 1
+    assert arch.stats.backups == before + 1
+    assert arch.stats.backups_by_reason[BackupReason.VIOLATION] == 1
+
+
+def test_clean_eviction_never_backs_up(data_base):
+    arch = make_arch("clank")
+    arch.backup(BackupReason.INITIAL)
+    fill_set0(arch, data_base, 9)  # loads only
+    assert arch.stats.backups == 1  # just the initial one
+    assert arch.stats.violations == 0
+
+
+def test_backup_persists_dirty_blocks_and_cleans(data_base):
+    arch = make_arch("clank")
+    store_word(arch, data_base, 7)
+    store_word(arch, data_base + 64, 8)
+    assert len(arch.cache.dirty_lines()) == 2
+    arch.backup(BackupReason.POLICY)
+    assert arch.cache.dirty_lines() == []
+    assert arch.nvm.peek_word(data_base) == 7
+    assert arch.nvm.peek_word(data_base + 64) == 8
+
+
+def test_backup_resets_dominance_tracking(data_base):
+    arch = make_arch("clank")
+    load_word(arch, data_base)  # read-dominated
+    arch.backup(BackupReason.POLICY)
+    # New section: write-first is now write-dominated despite the old read.
+    store_word(arch, data_base, 1)
+    fill_set0(arch, data_base + 32, 8)
+    assert arch.stats.violations == 0
+
+
+def test_gbf_remembers_dominance_across_refetch(data_base):
+    arch = make_arch("clank")
+    arch.backup(BackupReason.INITIAL)
+    load_word(arch, data_base)  # read-dominated
+    fill_set0(arch, data_base + 32, 8)  # evict it (clean)
+    # Refetch and write: GBF flags it read-dominated -> conservative R.
+    store_word(arch, data_base, 5)
+    before = arch.stats.violations
+    fill_set0(arch, data_base + 32 * 9, 8)  # evict it dirty
+    assert arch.stats.violations == before + 1
+
+
+def test_restore_rewinds_registers(data_base):
+    arch = make_arch("clank")
+    arch.core.rf.regs[0] = 11
+    arch.core.rf.pc = 0x40
+    arch.backup(BackupReason.POLICY)
+    arch.core.rf.regs[0] = 99
+    arch.core.rf.pc = 0x80
+    arch.on_power_failure()
+    arch.restore()
+    assert arch.core.rf.regs[0] == 11
+    assert arch.core.rf.pc == 0x40
+    assert arch.stats.restores == 1
+
+
+def test_power_failure_drops_cache_contents(data_base):
+    arch = make_arch("clank")
+    arch.backup(BackupReason.INITIAL)
+    store_word(arch, data_base, 123)  # dirty, not yet persisted
+    arch.on_power_failure()
+    arch.restore()
+    assert load_word(arch, data_base) == 0  # store was lost, as expected
+
+
+def test_backup_is_atomic_under_energy_exhaustion(data_base):
+    import pytest
+
+    from repro.energy.accounting import PowerFailure
+
+    arch = make_arch("clank", capacity=2800.0)
+    arch.backup(BackupReason.INITIAL)  # cheap: no dirty data
+    committed = arch.nvm.committed_checkpoint()
+    for i in range(8):
+        store_word(arch, data_base + i * 32, i)
+    arch.core.rf.regs[0] = 77
+    with pytest.raises(PowerFailure):
+        arch.backup(BackupReason.POLICY)
+    # Nothing was persisted: previous checkpoint intact, homes untouched.
+    assert arch.nvm.committed_checkpoint() is committed
+    assert arch.nvm.peek_word(data_base) == 0
+
+
+def test_estimate_matches_actual_cost(data_base):
+    arch = make_arch("clank")
+    for i in range(5):
+        store_word(arch, data_base + i * 32, i)
+    estimate = arch.estimate_backup_cost()
+    spent_before = arch.ledger.total_spent
+    arch.backup(BackupReason.POLICY)
+    assert arch.ledger.total_spent - spent_before == estimate
+
+
+def test_debug_read_word_sees_committed_state(data_base):
+    arch = make_arch("clank")
+    store_word(arch, data_base, 5)
+    assert arch.debug_read_word(data_base) == 0  # not yet persisted
+    arch.backup(BackupReason.POLICY)
+    assert arch.debug_read_word(data_base) == 5

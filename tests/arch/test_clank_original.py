@@ -1,0 +1,105 @@
+"""Original (buffer-based) Clank: detection at store time, tiny buffers."""
+
+from repro.arch.base import BackupReason
+
+from tests.arch.conftest import load_word, make_arch, store_word
+
+
+def test_store_first_is_write_first_no_violation(data_base):
+    arch = make_arch("clank_original")
+    arch.backup(BackupReason.INITIAL)
+    store_word(arch, data_base, 1)
+    store_word(arch, data_base, 2)  # repeated store: still fine
+    assert arch.stats.violations == 0
+
+
+def test_read_then_store_violates_at_the_store(data_base):
+    arch = make_arch("clank_original")
+    arch.backup(BackupReason.INITIAL)
+    load_word(arch, data_base)
+    before = arch.stats.backups
+    store_word(arch, data_base, 1)
+    assert arch.stats.violations == 1
+    assert arch.stats.backups == before + 1
+    assert arch.stats.backups_by_reason[BackupReason.VIOLATION] == 1
+
+
+def test_violating_store_lands_in_new_section(data_base):
+    arch = make_arch("clank_original")
+    arch.backup(BackupReason.INITIAL)
+    load_word(arch, data_base)
+    store_word(arch, data_base, 0xAA)
+    # After the violation backup the store executed; its word is now
+    # write-first, so another store is quiet.
+    store_word(arch, data_base, 0xBB)
+    assert arch.stats.violations == 1
+    assert load_word(arch, data_base) == 0xBB
+
+
+def test_read_first_buffer_capacity_backup(data_base):
+    arch = make_arch("clank_original", read_first_entries=4, write_first_entries=4)
+    arch.backup(BackupReason.INITIAL)
+    for i in range(4):
+        load_word(arch, data_base + 4 * i)
+    before = arch.stats.backups_by_reason.get(BackupReason.STRUCTURAL, 0)
+    load_word(arch, data_base + 16)  # fifth distinct read word
+    assert arch.stats.backups_by_reason[BackupReason.STRUCTURAL] == before + 1
+
+
+def test_write_buffer_coalesces_and_drains_fifo(data_base):
+    arch = make_arch("clank_original", write_buffer_entries=2)
+    arch.backup(BackupReason.INITIAL)
+    store_word(arch, data_base, 1)
+    store_word(arch, data_base + 4, 2)
+    store_word(arch, data_base, 3)  # coalesces, no drain
+    assert arch.nvm.peek_word(data_base) == 0
+    store_word(arch, data_base + 8, 4)  # drains the oldest FIFO entry
+    assert arch.nvm.peek_word(data_base + 4) == 2  # +4 was oldest
+    assert arch.nvm.peek_word(data_base) == 0  # coalesced entry kept
+
+
+def test_loads_see_buffered_values(data_base):
+    arch = make_arch("clank_original")
+    arch.backup(BackupReason.INITIAL)
+    store_word(arch, data_base, 0x77)
+    assert load_word(arch, data_base) == 0x77
+
+
+def test_byte_store_read_modify_write(data_base):
+    arch = make_arch("clank_original")
+    arch.backup(BackupReason.INITIAL)
+    store_word(arch, data_base, 0x11223344)
+    arch.store(data_base + 1, 0xAA, 1)
+    assert load_word(arch, data_base) == 0x1122AA44
+
+
+def test_backup_flushes_buffer_and_resets_tracking(data_base):
+    arch = make_arch("clank_original")
+    store_word(arch, data_base, 9)
+    load_word(arch, data_base + 64)
+    arch.backup(BackupReason.POLICY)
+    assert arch.nvm.peek_word(data_base) == 9
+    assert not arch.write_buffer
+    # New section: the previously-read word can be stored quietly.
+    store_word(arch, data_base + 64, 1)
+    assert arch.stats.violations == 0
+
+
+def test_power_failure_loses_buffer(data_base):
+    arch = make_arch("clank_original")
+    arch.backup(BackupReason.INITIAL)
+    store_word(arch, data_base, 5)
+    arch.on_power_failure()
+    arch.restore()
+    assert load_word(arch, data_base) == 0
+
+
+def test_crash_consistency_under_failures():
+    """End-to-end: original Clank completes workloads correctly."""
+    from repro.workloads import run_workload
+
+    result = run_workload(
+        "qsort", arch="clank_original", policy="watchdog", trace_seed=1
+    )
+    assert result.power_failures >= 0  # verified internally by run_workload
+    assert result.violations > 0

@@ -1,0 +1,194 @@
+"""Crash-consistency property tests — the paper's correctness criterion.
+
+For any program and any power-failure schedule, the architecturally
+visible memory state after completion must equal a continuously-powered
+run's (Section 3).  We generate random memory-churning programs
+(read-modify-writes, stores and loads over a small array, i.e. dense
+WAR hazards) and run them under aggressive failure conditions on every
+crash-consistent architecture.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.energy.traces import HarvestTrace
+from repro.sim.platform import Platform, PlatformConfig
+from repro.sim.reference import run_reference
+
+
+def random_program(seed, iterations=60, ops=14, array_words=48):
+    """A seeded random program hammering a small NVM array.
+
+    The generated loop mixes read-modify-writes (WAR hazards), plain
+    stores and accumulating loads, then writes a completion marker.
+    """
+    rng = random.Random(seed)
+    lines = [
+        ".data",
+        f"arr: .space {array_words * 4}",
+        "marker: .word 0",
+        ".text",
+        "main:",
+        "    la r4, arr",
+        f"    movw r5, #{iterations}   ; loop counter",
+        "    movw r6, #0              ; checksum",
+        "outer:",
+    ]
+    for _ in range(ops):
+        index = rng.randrange(array_words) * 4
+        op = rng.choice(["rmw", "store", "load", "copy"])
+        if op == "rmw":
+            lines += [
+                f"    ldr r0, [r4, #{index}]",
+                f"    add r0, r0, #{rng.randrange(1, 64)}",
+                f"    str r0, [r4, #{index}]",
+            ]
+        elif op == "store":
+            lines += [
+                f"    movw r0, #{rng.randrange(0xFFFF)}",
+                "    add r0, r0, r5",
+                f"    str r0, [r4, #{index}]",
+            ]
+        elif op == "load":
+            lines += [
+                f"    ldr r0, [r4, #{index}]",
+                "    add r6, r6, r0",
+            ]
+        else:  # copy between two slots
+            dst = rng.randrange(array_words) * 4
+            lines += [
+                f"    ldr r0, [r4, #{index}]",
+                f"    str r0, [r4, #{dst}]",
+            ]
+    lines += [
+        "    sub r5, r5, #1",
+        "    cmp r5, #0",
+        "    bne outer",
+        "    la r0, marker",
+        "    str r6, [r0, #0]",
+        "    halt",
+    ]
+    return assemble("\n".join(lines))
+
+
+def final_state(program, arch, policy, trace_seed, **config_kwargs):
+    config = PlatformConfig(
+        arch=arch,
+        policy=policy,
+        capacitor_energy=4500.0,  # small: frequent power failures
+        watchdog_period=1200,
+        max_steps=3_000_000,
+        # Hibernus snapshots its whole SRAM; with this tiny budget the
+        # device's SRAM must be scaled to the fuzz program's ~50-word
+        # footprint or no snapshot is ever affordable.
+        sram_floor_words=16,
+        **config_kwargs,
+    )
+    platform = Platform(
+        program, config, trace=HarvestTrace(trace_seed), benchmark_name="fuzz"
+    )
+    result = platform.run()
+    base = program.symbol("arr")
+    words = platform.read_words(base, 48)
+    words.append(platform.read_word(program.symbol("marker")))
+    return words, result
+
+
+def reference_state(program):
+    ref = run_reference(program)
+    words = ref.words_at(program.symbol("arr"), 48)
+    words.append(ref.word_at(program.symbol("marker")))
+    return words
+
+
+@pytest.mark.parametrize("arch", ["clank", "clank_original", "nvmr", "hoop", "hibernus"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_watchdog_with_failures_matches_reference(arch, seed):
+    program = random_program(seed)
+    expected = reference_state(program)
+    got, result = final_state(program, arch, "watchdog", trace_seed=seed)
+    assert result.power_failures > 0, "test must actually exercise failures"
+    assert got == expected
+
+
+@pytest.mark.parametrize("arch", ["clank", "clank_original", "nvmr", "hoop"])
+def test_jit_matches_reference(arch):
+    program = random_program(7)
+    expected = reference_state(program)
+    got, result = final_state(program, arch, "jit", trace_seed=3)
+    assert result.shutdowns > 0
+    assert got == expected
+
+
+def test_nvmr_tiny_structures_under_failures():
+    """Structural backups (tiny MTC/map table + reclaim) under failures."""
+    program = random_program(11, iterations=40)
+    expected = reference_state(program)
+    got, result = final_state(
+        program,
+        "nvmr",
+        "watchdog",
+        trace_seed=5,
+        mtc_entries=4,
+        mtc_assoc=2,
+        map_table_entries=8,
+    )
+    assert got == expected
+    assert result.power_failures > 0
+
+
+def test_nvmr_no_reclaim_tiny_table_under_failures():
+    program = random_program(13, iterations=40)
+    expected = reference_state(program)
+    got, result = final_state(
+        program,
+        "nvmr",
+        "watchdog",
+        trace_seed=6,
+        map_table_entries=4,
+        reclaim=False,
+    )
+    assert got == expected
+
+
+def test_hoop_tiny_buffer_and_region_under_failures():
+    program = random_program(17, iterations=40)
+    expected = reference_state(program)
+    got, result = final_state(
+        program,
+        "hoop",
+        "watchdog",
+        trace_seed=7,
+        oop_buffer_entries=8,
+        oop_region_slots=64,
+    )
+    assert got == expected
+    assert result.power_failures > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    trace_seed=st.integers(0, 1000),
+    arch=st.sampled_from(["clank", "clank_original", "nvmr", "hoop", "hibernus"]),
+)
+def test_crash_consistency_property(seed, trace_seed, arch):
+    """The headline invariant, hypothesis-driven."""
+    program = random_program(seed, iterations=30, ops=10)
+    expected = reference_state(program)
+    got, _ = final_state(program, arch, "watchdog", trace_seed=trace_seed)
+    assert got == expected
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 10_000), trace_seed=st.integers(0, 1000))
+def test_spendthrift_crash_consistency_property(seed, trace_seed):
+    """Mispredicting policies may fail at awkward instants; correctness
+    must not depend on the policy."""
+    program = random_program(seed, iterations=25, ops=8)
+    expected = reference_state(program)
+    got, _ = final_state(program, "nvmr", "spendthrift", trace_seed=trace_seed)
+    assert got == expected

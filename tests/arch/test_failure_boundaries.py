@@ -1,0 +1,131 @@
+"""Systematic failure-point sweeps.
+
+The crash-consistency fuzzer samples failure schedules randomly; these
+tests sweep the per-period energy budget *finely* so that power
+failures land at many distinct instants — including inside backup
+attempts, right after renames, and straddling reclaims — and every run
+must still match the continuous reference.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.energy.traces import HarvestTrace
+from repro.sim.platform import Platform, PlatformConfig
+from repro.sim.reference import run_reference
+
+# A compact program with dense WAR hazards: in-place Fibonacci-style
+# rotation plus array reversal, repeated.
+PROGRAM = """
+.data
+state: .word 1, 1, 0
+arr:   .word 9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 11, 12, 13, 14, 15, 16
+done:  .word 0
+.text
+main:
+    la r4, state
+    la r5, arr
+    movw r6, #40         ; outer iterations
+outer:
+    ; state rotate: c = a + b; a = b; b = c
+    ldr r0, [r4, #0]
+    ldr r1, [r4, #4]
+    add r2, r0, r1
+    str r1, [r4, #0]
+    str r2, [r4, #4]
+    ldr r3, [r4, #8]
+    add r3, r3, r2
+    str r3, [r4, #8]
+    ; reverse arr in place (8 swaps)
+    movw r7, #0
+    movw r8, #60
+swap:
+    cmp r7, r8
+    bge swapped
+    ldr r0, [r5, r7]
+    ldr r1, [r5, r8]
+    str r0, [r5, r8]
+    str r1, [r5, r7]
+    add r7, r7, #4
+    sub r8, r8, #4
+    b swap
+swapped:
+    sub r6, r6, #1
+    cmp r6, #0
+    bne outer
+    la r0, done
+    movw r1, #1
+    str r1, [r0, #0]
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def program_and_expected():
+    program = assemble(PROGRAM)
+    reference = run_reference(program)
+    expected = (
+        reference.words_at(program.symbol("state"), 3)
+        + reference.words_at(program.symbol("arr"), 16)
+        + [reference.word_at(program.symbol("done"))]
+    )
+    return program, expected
+
+
+def run_with_budget(program, arch, budget, policy="watchdog", **overrides):
+    config = PlatformConfig(
+        arch=arch,
+        policy=policy,
+        capacitor_energy=budget,
+        watchdog_period=600,
+        max_steps=2_000_000,
+        **overrides,
+    )
+    platform = Platform(program, config, trace=HarvestTrace(0), benchmark_name="sweep")
+    result = platform.run()
+    got = (
+        platform.read_words(program.symbol("state"), 3)
+        + platform.read_words(program.symbol("arr"), 16)
+        + [platform.read_word(program.symbol("done"))]
+    )
+    return got, result
+
+
+@pytest.mark.parametrize("arch", ["clank", "nvmr", "hoop", "clank_original"])
+def test_budget_sweep_hits_many_failure_points(arch, program_and_expected):
+    """Sweep the budget in small steps: failures land at shifting
+    instants; the final state must always match."""
+    program, expected = program_and_expected
+    failures_seen = 0
+    for budget in range(2600, 4200, 150):
+        got, result = run_with_budget(program, arch, float(budget))
+        assert got == expected, (arch, budget)
+        failures_seen += result.power_failures
+    assert failures_seen > 0
+
+
+def test_nvmr_sweep_with_tiny_structures(program_and_expected):
+    """Same sweep under maximum structural pressure (reclaims, MTC
+    evictions, free-list churn all active)."""
+    program, expected = program_and_expected
+    for budget in range(2600, 4200, 200):
+        got, result = run_with_budget(
+            program,
+            "nvmr",
+            float(budget),
+            mtc_entries=2,
+            mtc_assoc=1,
+            map_table_entries=4,
+        )
+        assert got == expected, budget
+        assert result.backups > 0
+
+
+def test_jit_near_minimum_viable_budget(program_and_expected):
+    """JIT with a budget barely above the worst-case backup cost: the
+    device makes slow but correct progress."""
+    program, expected = program_and_expected
+    got, result = run_with_budget(program, "nvmr", 3800.0, policy="jit")
+    assert got == expected
+    assert result.active_periods > 3
+    assert result.breakdown.dead == 0.0

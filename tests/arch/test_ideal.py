@@ -1,0 +1,53 @@
+"""The ideal (oracle) architecture: counts violations, never acts."""
+
+from repro.arch.base import BackupReason
+
+from tests.arch.conftest import load_word, make_arch, store_word
+
+
+def fill_set0(arch, base, count=8):
+    for i in range(count):
+        load_word(arch, base + i * 32)
+
+
+def test_violation_counted_but_no_backup(data_base):
+    arch = make_arch("ideal")
+    arch.backup(BackupReason.INITIAL)
+    load_word(arch, data_base)
+    store_word(arch, data_base, 1)
+    before = arch.stats.backups
+    fill_set0(arch, data_base + 32, 8)  # evict the violating block
+    assert arch.stats.violations == 1
+    assert arch.stats.backups == before  # counted, not acted on
+
+
+def test_dirty_eviction_persists_home_even_when_violating(data_base):
+    arch = make_arch("ideal")
+    arch.backup(BackupReason.INITIAL)
+    load_word(arch, data_base)
+    store_word(arch, data_base, 0xBAD)
+    fill_set0(arch, data_base + 32, 8)
+    # The ideal architecture is deliberately NOT crash-consistent: the
+    # violating store reached NVM before the next backup.
+    assert arch.nvm.peek_word(data_base) == 0xBAD
+
+
+def test_policy_backup_still_works(data_base):
+    arch = make_arch("ideal")
+    store_word(arch, data_base, 3)
+    arch.backup(BackupReason.POLICY)
+    assert arch.nvm.peek_word(data_base) == 3
+    assert arch.cache.dirty_lines() == []
+
+
+def test_violation_count_independent_of_backup_resets(data_base):
+    """Unlike Clank, counting continues across the whole section — the
+    measurement Table 3 needs."""
+    arch = make_arch("ideal")
+    arch.backup(BackupReason.INITIAL)
+    for i in range(3):
+        base = data_base + i * 4096
+        load_word(arch, base)
+        store_word(arch, base, i)
+        fill_set0(arch, base + 32, 8)
+    assert arch.stats.violations == 3

@@ -1,0 +1,167 @@
+"""Two-pass assembler: directives, pseudo-ops, branches, errors."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.asm.errors import AsmError
+from repro.asm.program import DATA_BASE, MemoryLayout
+from repro.isa.instructions import Instruction, Opcode
+
+
+def test_simple_program():
+    prog = assemble("main:\n    movw r0, #7\n    halt\n")
+    assert prog.instructions == [
+        Instruction(Opcode.MOVW, rd=0, imm=7),
+        Instruction(Opcode.HALT),
+    ]
+    assert prog.entry == 0
+
+
+def test_alu_register_vs_immediate_selection():
+    prog = assemble("add r0, r1, r2\nadd r0, r1, #5\n")
+    assert prog.instructions[0].op is Opcode.ADD
+    assert prog.instructions[1].op is Opcode.ADDI
+    assert prog.instructions[1].imm == 5
+
+
+def test_load_store_forms():
+    prog = assemble(
+        "ldr r0, [r1, #4]\nldr r0, [r1, r2]\nstrb r3, [r4]\nldrb r5, [r6, r7]\n"
+    )
+    ops = [i.op for i in prog.instructions]
+    assert ops == [Opcode.LDR, Opcode.LDRR, Opcode.STRB, Opcode.LDRBR]
+
+
+def test_li_expands_to_movw_movt():
+    prog = assemble("li r3, #0x12345678\n")
+    assert prog.instructions == [
+        Instruction(Opcode.MOVW, rd=3, imm=0x5678),
+        Instruction(Opcode.MOVT, rd=3, imm=0x1234),
+    ]
+
+
+def test_li_negative_value():
+    prog = assemble("li r0, #-1\n")
+    assert prog.instructions[0].imm == 0xFFFF
+    assert prog.instructions[1].imm == 0xFFFF
+
+
+def test_la_resolves_data_label():
+    prog = assemble(".data\nvar: .word 9\n.text\nla r0, var\nhalt\n")
+    low = prog.instructions[0].imm
+    high = prog.instructions[1].imm
+    assert (high << 16) | low == prog.symbol("var") == DATA_BASE
+
+
+def test_ret_is_bx_lr():
+    prog = assemble("ret\n")
+    assert prog.instructions[0] == Instruction(Opcode.BX, ra=14)
+
+
+def test_branch_offsets_forward_and_back():
+    prog = assemble("start:\n    b skip\n    nop\nskip:\n    b start\n")
+    assert prog.instructions[0].imm == 1  # skip is 2 instrs ahead of next pc
+    assert prog.instructions[2].imm == -3
+
+
+def test_branch_to_self():
+    prog = assemble("spin: b spin\n")
+    assert prog.instructions[0].imm == -1
+
+
+def test_bl_and_conditional_branches():
+    prog = assemble("main: bl f\n beq main\nf: ret\n")
+    assert prog.instructions[0].op is Opcode.BL
+    assert prog.instructions[1].op is Opcode.BEQ
+
+
+def test_word_directive_with_symbols():
+    prog = assemble(".data\na: .word 1\nb: .word a\n.text\nhalt\n")
+    words = prog.data
+    import struct
+
+    values = struct.unpack("<2I", words)
+    assert values == (1, prog.symbol("a"))
+
+
+def test_space_and_align_directives():
+    prog = assemble(".data\nx: .byte 1\n.align 2\ny: .word 2\n.text\nhalt\n")
+    assert prog.symbol("y") % 4 == 0
+    assert prog.symbol("y") == prog.symbol("x") + 4
+
+
+def test_asciz_directive():
+    prog = assemble('.data\ns: .asciz "hi\\n"\n.text\nhalt\n')
+    assert prog.data == b"hi\n\0"
+
+
+def test_byte_directive():
+    prog = assemble(".data\nb: .byte 1, 2, 255\n.text\nhalt\n")
+    assert prog.data == bytes([1, 2, 255])
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AsmError, match="duplicate"):
+        assemble("a: nop\na: nop\n")
+
+
+def test_undefined_symbol_rejected():
+    with pytest.raises(AsmError, match="undefined"):
+        assemble("b nowhere\n")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AsmError, match="unknown mnemonic"):
+        assemble("frobnicate r0\n")
+
+
+def test_wrong_operand_count_rejected():
+    with pytest.raises(AsmError, match="expects"):
+        assemble("add r0, r1\n")
+
+
+def test_mov_large_immediate_rejected():
+    with pytest.raises(AsmError, match="16-bit"):
+        assemble("mov r0, #0x10000\n")
+
+
+def test_entry_defaults():
+    prog = assemble("nop\nmain: halt\n")
+    assert prog.entry == 4  # falls back to 'main'
+    prog2 = assemble("_start: nop\nmain: halt\n")
+    assert prog2.entry == 0  # prefers _start
+
+
+def test_instruction_outside_text_rejected():
+    with pytest.raises(AsmError):
+        assemble(".data\nadd r0, r0, r0\n")
+
+
+def test_directive_outside_data_rejected():
+    with pytest.raises(AsmError):
+        assemble(".word 5\n")
+
+
+def test_source_lines_tracked():
+    prog = assemble("nop\nli r0, #70000\nhalt\n")
+    assert prog.source_lines == [1, 2, 2, 3]
+
+
+def test_instruction_index_helpers():
+    prog = assemble("nop\nnop\nhalt\n")
+    assert prog.instruction_index(4) == 1
+    with pytest.raises(ValueError):
+        prog.instruction_index(5)
+    with pytest.raises(ValueError):
+        prog.instruction_index(400)
+    assert prog.code_size == 12
+
+
+def test_reserved_mappings_helper():
+    layout = MemoryLayout()
+    maps = layout.reserved_mappings(10, 16)
+    assert len(maps) == 10
+    assert all(m % 16 == 0 for m in maps)
+    assert maps[0] == layout.reserved_base
+    with pytest.raises(ValueError):
+        layout.reserved_mappings(10**9, 16)

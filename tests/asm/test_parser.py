@@ -1,0 +1,93 @@
+"""Assembly line parsing: operands, labels, comments, strings."""
+
+import pytest
+
+from repro.asm.errors import AsmError
+from repro.asm.parser import Imm, Mem, Reg, Sym, parse_int, parse_line, parse_operand
+
+
+def test_parse_int_forms():
+    assert parse_int("42") == 42
+    assert parse_int("-7") == -7
+    assert parse_int("0x1F") == 31
+    assert parse_int("0b101") == 5
+    assert parse_int("'a'") == 97
+    assert parse_int("'\\n'") == 10
+    assert parse_int("'\\0'") == 0
+
+
+def test_parse_int_rejects_garbage():
+    with pytest.raises(AsmError):
+        parse_int("twelve")
+    with pytest.raises(AsmError):
+        parse_int("'ab'")
+
+
+def test_operand_register_and_aliases():
+    assert parse_operand("r3") == Reg(3)
+    assert parse_operand("SP") == Reg(13)
+    assert parse_operand("lr") == Reg(14)
+
+
+def test_operand_immediates():
+    assert parse_operand("#5") == Imm(5)
+    assert parse_operand("#-12") == Imm(-12)
+    assert parse_operand("#0x10") == Imm(16)
+    assert parse_operand("#'x'") == Imm(120)
+
+
+def test_operand_memory_forms():
+    assert parse_operand("[r1, #8]") == Mem(base=1, offset=8)
+    assert parse_operand("[r1]") == Mem(base=1, offset=0)
+    assert parse_operand("[r2, r3]") == Mem(base=2, index=3)
+    assert parse_operand("[sp, #-4]") == Mem(base=13, offset=-4)
+
+
+def test_operand_memory_errors():
+    with pytest.raises(AsmError):
+        parse_operand("[#4, r1]")
+    with pytest.raises(AsmError):
+        parse_operand("[r1, foo]")
+
+
+def test_operand_symbol():
+    assert parse_operand("loop") == Sym("loop")
+    assert parse_operand(".L3") == Sym(".L3")
+
+
+def test_parse_line_labels_and_instruction():
+    stmt = parse_line("loop: add r0, r1, #2 ; comment", 7)
+    assert stmt.labels == ("loop",)
+    assert stmt.kind == "instr"
+    assert stmt.name == "add"
+    assert stmt.operands == (Reg(0), Reg(1), Imm(2))
+    assert stmt.line == 7
+
+
+def test_parse_line_multiple_labels():
+    stmt = parse_line("a: b: nop", 1)
+    assert stmt.labels == ("a", "b")
+    assert stmt.name == "nop"
+
+
+def test_parse_line_comments():
+    assert parse_line("; only a comment", 1).kind == "empty"
+    assert parse_line("// slashes too", 1).kind == "empty"
+    assert parse_line("   ", 1).kind == "empty"
+
+
+def test_parse_line_directive():
+    stmt = parse_line(".word 1, 2, 3", 1)
+    assert stmt.kind == "directive"
+    assert stmt.name == ".word"
+    assert stmt.operands == ("1", "2", "3")
+
+
+def test_parse_line_asciz_keeps_string_whole():
+    stmt = parse_line('.asciz "hello, world ; not a comment"', 1)
+    assert stmt.operands == ('"hello, world ; not a comment"',)
+
+
+def test_memory_operand_with_commas_splits_correctly():
+    stmt = parse_line("ldr r0, [r1, #4]", 1)
+    assert stmt.operands == (Reg(0), Mem(base=1, offset=4))

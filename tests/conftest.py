@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.energy.accounting import EnergyLedger
+from repro.energy.capacitor import Supercapacitor
+from repro.energy.model import EnergyModel
+from repro.mem.nvm import NvmFlash
+from repro.asm.program import MemoryLayout
+
+
+@pytest.fixture
+def layout():
+    return MemoryLayout()
+
+
+@pytest.fixture
+def nvm(layout):
+    return NvmFlash(layout.flash_size)
+
+
+@pytest.fixture
+def energy():
+    return EnergyModel()
+
+
+def make_ledger(capacity=1e12):
+    """A ledger backed by an effectively infinite capacitor."""
+    return EnergyLedger(Supercapacitor(capacity))
+
+
+@pytest.fixture
+def ledger():
+    return make_ledger()
+
+
+def asm_program(body, data=""):
+    """Assemble a text fragment with standard prologue/epilogue."""
+    source = ""
+    if data:
+        source += ".data\n" + data + "\n"
+    source += ".text\nmain:\n" + body + "\n    halt\n"
+    return assemble(source)

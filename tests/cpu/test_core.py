@@ -1,0 +1,228 @@
+"""TinyRISC core semantics, executed against flat memory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asm import assemble
+from repro.cpu.core import Core, ExecutionError
+from repro.isa.registers import s32, u32
+from repro.sim.reference import FlatMemory, run_reference
+
+
+def run_asm(body, data="", max_steps=100_000):
+    source = ""
+    if data:
+        source = ".data\n" + data + "\n.text\n"
+    source += "main:\n" + body + "\n    halt\n"
+    program = assemble(source)
+    memory = FlatMemory(program.layout.flash_size)
+    memory.load_image(program.layout.data_base, program.data)
+    core = Core(program, memory)
+    steps = 0
+    while not core.halted:
+        core.step()
+        steps += 1
+        assert steps < max_steps, "program did not halt"
+    return core, memory, program
+
+
+def test_mov_and_arith():
+    core, _, _ = run_asm("movw r0, #10\nadd r1, r0, #5\nsub r2, r1, r0\n")
+    assert core.rf.regs[1] == 15
+    assert core.rf.regs[2] == 5
+
+
+def test_movt_combines():
+    core, _, _ = run_asm("movw r0, #0x5678\nmovt r0, #0x1234\n")
+    assert core.rf.regs[0] == 0x12345678
+
+
+def test_wrapping_arithmetic():
+    core, _, _ = run_asm("li r0, #0xFFFFFFFF\nadd r1, r0, #1\nmul r2, r0, r0\n")
+    assert core.rf.regs[1] == 0
+    assert core.rf.regs[2] == 1  # (-1)^2 wrapped
+
+
+def test_logic_ops():
+    core, _, _ = run_asm(
+        "li r0, #0xF0F0F0F0\nli r1, #0x0FF00FF0\n"
+        "and r2, r0, r1\norr r3, r0, r1\neor r4, r0, r1\nmvn r5, r0\n"
+    )
+    assert core.rf.regs[2] == 0x00F000F0
+    assert core.rf.regs[3] == 0xFFF0FFF0
+    assert core.rf.regs[4] == 0xFF00FF00
+    assert core.rf.regs[5] == 0x0F0F0F0F
+
+
+def test_shifts():
+    core, _, _ = run_asm(
+        "li r0, #0x80000000\nasr r1, r0, #4\nlsr r2, r0, #4\n"
+        "movw r3, #1\nlsl r4, r3, #31\n"
+    )
+    assert core.rf.regs[1] == 0xF8000000
+    assert core.rf.regs[2] == 0x08000000
+    assert core.rf.regs[4] == 0x80000000
+
+
+def test_shift_amount_masked_to_31():
+    core, _, _ = run_asm("movw r0, #1\nmovw r1, #33\nlsl r2, r0, r1\n")
+    assert core.rf.regs[2] == 2  # 33 & 31 == 1
+
+
+def test_division_semantics():
+    core, _, _ = run_asm(
+        "movw r0, #7\nli r1, #-2\nsdiv r2, r0, r1\n"
+        "li r3, #-7\nmovw r4, #2\nsdiv r5, r3, r4\nsrem r6, r3, r4\n"
+    )
+    assert s32(core.rf.regs[2]) == -3  # truncation toward zero
+    assert s32(core.rf.regs[5]) == -3
+    assert s32(core.rf.regs[6]) == -1  # remainder follows dividend
+
+
+def test_divide_by_zero_gives_zero():
+    core, _, _ = run_asm(
+        "movw r0, #5\nmovw r1, #0\nsdiv r2, r0, r1\nudiv r3, r0, r1\nsrem r4, r0, r1\n"
+    )
+    assert core.rf.regs[2] == 0
+    assert core.rf.regs[3] == 0
+    assert core.rf.regs[4] == 0
+
+
+def test_udiv_unsigned():
+    core, _, _ = run_asm("li r0, #0x80000000\nmovw r1, #2\nudiv r2, r0, r1\n")
+    assert core.rf.regs[2] == 0x40000000
+
+
+@pytest.mark.parametrize(
+    "branch,a,b,taken",
+    [
+        ("beq", 1, 1, True),
+        ("beq", 1, 2, False),
+        ("bne", 1, 2, True),
+        ("blt", -1, 1, True),
+        ("blt", 1, -1, False),
+        ("bge", 5, 5, True),
+        ("bgt", 6, 5, True),
+        ("ble", 5, 6, True),
+        ("blo", 1, 2, True),
+        ("blo", -1, 1, False),  # unsigned: 0xFFFFFFFF > 1
+        ("bhs", -1, 1, True),
+        ("bhi", -1, 1, True),
+        ("bls", 1, -1, True),
+    ],
+)
+def test_conditional_branches(branch, a, b, taken):
+    body = (
+        f"li r0, #{a}\nli r1, #{b}\ncmp r0, r1\n{branch} yes\n"
+        "movw r2, #0\nb done\nyes: movw r2, #1\ndone:\n"
+    )
+    core, _, _ = run_asm(body)
+    assert core.rf.regs[2] == (1 if taken else 0)
+
+
+def test_signed_overflow_flag_in_compare():
+    # 0x7FFFFFFF vs -1: subtraction overflows; blt must see signed >.
+    core, _, _ = run_asm(
+        "li r0, #0x7FFFFFFF\nli r1, #-1\ncmp r0, r1\n"
+        "bgt yes\nmovw r2, #0\nb done\nyes: movw r2, #1\ndone:\n"
+    )
+    assert core.rf.regs[2] == 1
+
+
+def test_call_and_return():
+    core, _, _ = run_asm(
+        "bl func\nb done\nfunc: movw r0, #42\nret\ndone: add r1, r0, #1\n"
+    )
+    assert core.rf.regs[0] == 42
+    assert core.rf.regs[1] == 43
+
+
+def test_memory_word_and_byte():
+    core, memory, prog = run_asm(
+        "la r0, buf\nmovw r1, #0xBEEF\nstr r1, [r0, #0]\n"
+        "ldrb r2, [r0, #0]\nldrb r3, [r0, #1]\n"
+        "movw r4, #0x7F\nstrb r4, [r0, #2]\nldr r5, [r0, #0]\n",
+        data="buf: .space 16",
+    )
+    assert core.rf.regs[2] == 0xEF
+    assert core.rf.regs[3] == 0xBE
+    assert core.rf.regs[5] == 0x7FBEEF
+
+
+def test_register_offset_addressing():
+    core, _, _ = run_asm(
+        "la r0, arr\nmovw r1, #8\nldr r2, [r0, r1]\n",
+        data="arr: .word 10, 20, 30, 40",
+    )
+    assert core.rf.regs[2] == 30
+
+
+def test_sp_initialised_to_stack_top():
+    core, _, prog = run_asm("mov r0, sp\n")
+    assert core.rf.regs[0] == prog.layout.stack_top
+
+
+def test_step_after_halt_raises():
+    core, _, _ = run_asm("nop\n")
+    with pytest.raises(ExecutionError):
+        core.step()
+
+
+def test_pc_out_of_code_raises():
+    program = assemble("main: nop\nhalt\n")
+    memory = FlatMemory(program.layout.flash_size)
+    core = Core(program, memory)
+    core.rf.pc = 0x1000
+    with pytest.raises(ExecutionError):
+        core.step()
+
+
+def test_cycle_counting():
+    program = assemble("main: movw r0, #1\nb skip\nnop\nskip: halt\n")
+    memory = FlatMemory(program.layout.flash_size)
+    core = Core(program, memory)
+    assert core.step() == 1  # movw
+    assert core.step() == 2  # taken branch: 1 + refill
+    assert core.step() == 1  # halt
+
+
+def test_reference_runner_counts():
+    prog = assemble("main: movw r0, #3\nloop: sub r0, r0, #1\ncmp r0, #0\nbne loop\nhalt\n")
+    result = run_reference(prog)
+    assert result.instructions == 1 + 3 * 3 + 1
+
+
+_OPS = {
+    "add": lambda a, b: u32(a + b),
+    "sub": lambda a, b: u32(a - b),
+    "mul": lambda a, b: u32(a * b),
+    "and": lambda a, b: a & b,
+    "orr": lambda a, b: a | b,
+    "eor": lambda a, b: a ^ b,
+}
+
+
+@given(
+    op=st.sampled_from(sorted(_OPS)),
+    a=st.integers(0, 0xFFFFFFFF),
+    b=st.integers(0, 0xFFFFFFFF),
+)
+def test_alu_matches_model(op, a, b):
+    core, _, _ = run_asm(f"li r0, #{a}\nli r1, #{b}\n{op} r2, r0, r1\n")
+    assert core.rf.regs[2] == _OPS[op](a, b)
+
+
+@given(a=st.integers(-(2**31), 2**31 - 1), b=st.integers(-(2**31), 2**31 - 1))
+def test_sdiv_matches_c_semantics(a, b):
+    core, _, _ = run_asm(f"li r0, #{a}\nli r1, #{b}\nsdiv r2, r0, r1\nsrem r3, r0, r1\n")
+    if b == 0:
+        expected_q, expected_r = 0, 0
+    else:
+        expected_q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            expected_q = -expected_q
+        expected_r = abs(a) % abs(b)
+        if a < 0:
+            expected_r = -expected_r
+    assert s32(core.rf.regs[2]) == s32(expected_q)
+    assert s32(core.rf.regs[3]) == s32(expected_r)

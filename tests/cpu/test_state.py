@@ -1,0 +1,65 @@
+"""Register-file snapshots: exactly what a backup persists."""
+
+from repro.cpu.state import Checkpoint, Flags, RegisterFile
+from repro.isa.registers import NUM_REGS
+
+
+def test_checkpoint_words_covers_registers_pc_flags():
+    assert Checkpoint.WORDS == NUM_REGS + 2
+
+
+def test_snapshot_is_immutable_copy():
+    rf = RegisterFile()
+    rf.regs[3] = 99
+    rf.pc = 0x40
+    rf.flags.z = True
+    snap = rf.snapshot()
+    rf.regs[3] = 0
+    rf.pc = 0
+    rf.flags.z = False
+    assert snap.registers[3] == 99
+    assert snap.pc == 0x40
+    assert snap.flags.z is True
+
+
+def test_restore_rewinds_everything():
+    rf = RegisterFile()
+    rf.regs[0] = 1
+    rf.flags.n = True
+    rf.pc = 8
+    snap = rf.snapshot()
+    rf.regs[0] = 2
+    rf.flags.n = False
+    rf.pc = 100
+    rf.restore(snap)
+    assert rf.regs[0] == 1
+    assert rf.flags.n is True
+    assert rf.pc == 8
+
+
+def test_restore_does_not_alias_snapshot():
+    rf = RegisterFile()
+    snap = rf.snapshot()
+    rf.restore(snap)
+    rf.regs[0] = 7
+    rf.flags.c = True
+    assert snap.registers[0] == 0
+    assert snap.flags.c is False
+
+
+def test_reset_clears_state():
+    rf = RegisterFile()
+    rf.regs[5] = 1
+    rf.pc = 44
+    rf.flags.v = True
+    rf.reset()
+    assert rf.regs == [0] * NUM_REGS
+    assert rf.pc == 0
+    assert not rf.flags.v
+
+
+def test_flags_copy_is_independent():
+    flags = Flags(n=True, z=False, c=True, v=False)
+    copy = flags.copy()
+    copy.n = False
+    assert flags.n is True

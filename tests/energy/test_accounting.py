@@ -1,0 +1,92 @@
+"""Energy ledger: epochs, dead-energy folding, power-failure semantics."""
+
+import pytest
+
+from repro.energy.accounting import (
+    CATEGORIES,
+    EnergyBreakdown,
+    EnergyLedger,
+    PowerFailure,
+)
+from repro.energy.capacitor import Supercapacitor
+
+
+def make_ledger(capacity=1000.0):
+    return EnergyLedger(Supercapacitor(capacity))
+
+
+def test_charge_accumulates_in_epoch():
+    ledger = make_ledger()
+    ledger.charge("forward", 10.0)
+    ledger.charge("forward", 5.0)
+    assert ledger.epoch_total() == 15.0
+    assert ledger.committed.forward == 0.0
+
+
+def test_commit_epoch_moves_to_committed():
+    ledger = make_ledger()
+    ledger.charge("forward", 10.0)
+    ledger.charge("backup", 3.0)
+    ledger.commit_epoch()
+    assert ledger.committed.forward == 10.0
+    assert ledger.committed.backup == 3.0
+    assert ledger.epoch_total() == 0.0
+
+
+def test_fail_epoch_becomes_dead_energy():
+    ledger = make_ledger()
+    ledger.charge("forward", 10.0)
+    ledger.charge("forward_overhead", 2.0)
+    ledger.fail_epoch()
+    assert ledger.committed.dead == 12.0
+    assert ledger.committed.forward == 0.0
+
+
+def test_charge_draws_capacitor():
+    ledger = make_ledger(100.0)
+    ledger.charge("forward", 60.0)
+    assert ledger.capacitor.energy == 40.0
+
+
+def test_insufficient_charge_raises_power_failure():
+    ledger = make_ledger(100.0)
+    ledger.charge("forward", 90.0)
+    with pytest.raises(PowerFailure):
+        ledger.charge("backup", 50.0)
+    # The partial draw (10) is recorded so it can become dead energy.
+    assert ledger.capacitor.energy == 0.0
+    assert ledger.epoch_total() == pytest.approx(100.0)
+    ledger.fail_epoch()
+    assert ledger.committed.dead == pytest.approx(100.0)
+
+
+def test_unknown_category_rejected():
+    ledger = make_ledger()
+    with pytest.raises(ValueError):
+        ledger.charge("snacks", 1.0)
+
+
+def test_zero_charge_is_noop():
+    ledger = make_ledger()
+    ledger.charge("forward", 0.0)
+    assert ledger.epoch_total() == 0.0
+
+
+def test_total_spent_includes_epoch():
+    ledger = make_ledger()
+    ledger.charge("forward", 5.0)
+    ledger.commit_epoch()
+    ledger.charge("restore", 2.0)
+    assert ledger.total_spent == 7.0
+
+
+def test_breakdown_helpers():
+    breakdown = EnergyBreakdown(forward=10.0, backup=5.0, dead=1.0)
+    assert breakdown.total == 16.0
+    assert set(breakdown.as_dict()) == set(CATEGORIES)
+    other = EnergyBreakdown(forward=1.0)
+    breakdown.add(other)
+    assert breakdown.forward == 11.0
+    scaled = breakdown.scaled(0.5)
+    assert scaled.forward == 5.5
+    assert breakdown.forward == 11.0  # original untouched

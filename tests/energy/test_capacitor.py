@@ -1,0 +1,85 @@
+"""Supercapacitor model: draw, recharge, voltage mapping."""
+
+import pytest
+
+from repro.energy.capacitor import (
+    CAPACITOR_PRESETS,
+    Supercapacitor,
+    V_OFF,
+    V_ON,
+)
+
+
+def test_starts_full():
+    cap = Supercapacitor(1000.0)
+    assert cap.energy == 1000.0
+    assert cap.fraction == 1.0
+
+
+def test_draw_and_remaining():
+    cap = Supercapacitor(1000.0)
+    assert cap.draw(300.0)
+    assert cap.energy == 700.0
+
+
+def test_draw_beyond_charge_fails_and_drains():
+    cap = Supercapacitor(100.0)
+    assert not cap.draw(150.0)
+    assert cap.energy == 0.0
+
+
+def test_draw_negative_rejected():
+    cap = Supercapacitor(100.0)
+    with pytest.raises(ValueError):
+        cap.draw(-1.0)
+
+
+def test_recharge_with_budget():
+    cap = Supercapacitor(1000.0)
+    cap.draw(1000.0)
+    cap.recharge(600.0)
+    assert cap.energy == 600.0
+    cap.recharge()
+    assert cap.energy == 1000.0
+
+
+def test_recharge_clamped_to_capacity():
+    cap = Supercapacitor(1000.0)
+    cap.recharge(5000.0)
+    assert cap.energy == 1000.0
+
+
+def test_voltage_endpoints():
+    cap = Supercapacitor(1000.0)
+    assert cap.voltage == pytest.approx(V_ON)
+    cap.draw(1000.0)
+    assert cap.voltage == pytest.approx(V_OFF)
+
+
+def test_voltage_monotonic_in_energy():
+    cap = Supercapacitor(1000.0)
+    previous = cap.voltage
+    for _ in range(10):
+        cap.draw(100.0)
+        assert cap.voltage < previous
+        previous = cap.voltage
+
+
+def test_presets_ordered_like_paper():
+    assert (
+        CAPACITOR_PRESETS["500uF"]
+        < CAPACITOR_PRESETS["7.5mF"]
+        < CAPACITOR_PRESETS["100mF"]
+    )
+
+
+def test_from_preset():
+    cap = Supercapacitor.from_preset("7.5mF")
+    assert cap.capacity == CAPACITOR_PRESETS["7.5mF"]
+    with pytest.raises(ValueError):
+        Supercapacitor.from_preset("1F")
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        Supercapacitor(0.0)

@@ -1,0 +1,71 @@
+"""Energy cost table orderings and the analytical area model."""
+
+from repro.energy.area import AreaModel
+from repro.energy.model import EnergyModel
+
+
+def test_cost_orderings_drive_the_paper():
+    e = EnergyModel()
+    # NVM write >> NVM read >> SRAM access >> bloom/logic.
+    assert e.nvm_write_word > 10 * e.nvm_read_word
+    assert e.nvm_read_word > e.cache_access
+    assert e.cache_access > e.bloom_access
+    assert e.cpu_cycle < e.nvm_read_word
+
+
+def test_block_costs_scale_with_words():
+    e = EnergyModel()
+    assert e.block_write(4) == 4 * e.nvm_write_word
+    assert e.block_read(4) == 4 * e.nvm_read_word
+
+
+def test_backup_commit_is_significant():
+    e = EnergyModel()
+    assert e.backup_commit > e.nvm_write_word
+
+
+def test_leakage_is_small_per_cycle():
+    e = EnergyModel()
+    assert e.cache_leak_cycle < e.cpu_cycle
+    assert e.mtc_leak_cycle < e.cpu_cycle
+
+
+def test_cache_bits_accounting():
+    area = AreaModel()
+    bits = area.cache_bits(256, 8, 16)
+    # 16 lines x (128 data + tag + 2 state) — tag must be positive.
+    assert bits > 16 * 128
+    assert bits < 16 * 160
+
+
+def test_lbf_bits_table2():
+    area = AreaModel()
+    # 16 lines x 4 words x 2 bits.
+    assert area.lbf_bits(256, 16) == 128
+
+
+def test_mtc_area_grows_with_entries():
+    area = AreaModel()
+    assert area.sram_mm2(area.mtc_bits(1024)) > area.sram_mm2(area.mtc_bits(512))
+
+
+def test_nvmr_area_exceeds_clank_by_mtc():
+    area = AreaModel()
+    assert area.nvmr_mm2() > area.clank_mm2()
+
+
+def test_mtc_overhead_near_paper_6_percent():
+    """Section 6.5: ~6% on-chip area overhead for the 512-entry MTC."""
+    overhead = AreaModel().mtc_overhead_percent(mtc_entries=512)
+    assert 3.0 < overhead < 10.0
+
+
+def test_fram_preset_cheap_writes():
+    from repro.energy.model import NVM_TECHNOLOGIES
+
+    fram = NVM_TECHNOLOGIES["fram"]()
+    flash = NVM_TECHNOLOGIES["flash"]()
+    # FRAM: writes ~ reads; flash: writes >> reads.
+    assert fram.nvm_write_word < 2 * fram.nvm_read_word
+    assert flash.nvm_write_word > 10 * flash.nvm_read_word
+    assert fram.nvm_write_word < flash.nvm_write_word / 50

@@ -1,0 +1,64 @@
+"""Synthetic harvest traces: determinism and plausible ranges."""
+
+from repro.energy.traces import BUDGET_HI, BUDGET_LO, HarvestTrace, default_traces
+
+
+def test_same_seed_same_trace():
+    a = HarvestTrace(3)
+    b = HarvestTrace(3)
+    for _ in range(50):
+        ca, cb = a.next_period(), b.next_period()
+        assert ca.env_voltage == cb.env_voltage
+        assert ca.budget_fraction == cb.budget_fraction
+        assert ca.recharge_cycles == cb.recharge_cycles
+
+
+def test_different_seeds_differ():
+    a = HarvestTrace(0)
+    b = HarvestTrace(1)
+    seqs = [
+        [a.next_period().budget_fraction for _ in range(10)],
+        [b.next_period().budget_fraction for _ in range(10)],
+    ]
+    assert seqs[0] != seqs[1]
+
+
+def test_budget_in_documented_range():
+    trace = HarvestTrace(7)
+    for _ in range(500):
+        cond = trace.next_period()
+        assert 0.5 <= cond.budget_fraction <= BUDGET_HI
+        assert 0.0 <= cond.env_voltage <= 1.0
+        assert cond.recharge_cycles > 0
+
+
+def test_budget_varies_between_periods():
+    trace = HarvestTrace(11)
+    budgets = {round(trace.next_period().budget_fraction, 6) for _ in range(50)}
+    assert len(budgets) > 10
+
+
+def test_env_correlates_with_budget():
+    """The Spendthrift feature must carry signal about the budget."""
+    trace = HarvestTrace(5)
+    pairs = [
+        (cond.env_voltage, cond.budget_fraction)
+        for cond in (trace.next_period() for _ in range(300))
+    ]
+    mean_env = sum(e for e, _ in pairs) / len(pairs)
+    mean_budget = sum(b for _, b in pairs) / len(pairs)
+    cov = sum((e - mean_env) * (b - mean_budget) for e, b in pairs)
+    assert cov > 0  # positively correlated
+
+
+def test_default_traces_count_and_seeds():
+    traces = default_traces()
+    assert len(traces) == 10
+    assert [t.seed for t in traces] == list(range(10))
+    assert len(default_traces(3, base_seed=5)) == 3
+
+
+def test_budget_floor_respected():
+    trace = HarvestTrace(13)
+    assert all(trace.next_period().budget_fraction >= 0.5 for _ in range(200))
+    assert BUDGET_LO > 0.5

@@ -1,0 +1,129 @@
+"""Binary encoding: round trips, field ranges, and error paths."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import IMM14_MAX, IMM14_MIN, IMM26_MAX, IMM26_MIN, decode, disassemble, encode
+from repro.isa.errors import EncodingError
+from repro.isa.instructions import (
+    ALU_IMM_OPS,
+    ALU_REG_OPS,
+    BRANCH_OPS,
+    Instruction,
+    Opcode,
+)
+
+_REG3 = sorted(ALU_REG_OPS | {Opcode.LDRR, Opcode.LDRBR, Opcode.STRR, Opcode.STRBR})
+_IMM14 = sorted(ALU_IMM_OPS | {Opcode.LDR, Opcode.LDRB, Opcode.STR, Opcode.STRB})
+_JUMPS = sorted(BRANCH_OPS | {Opcode.BL})
+
+
+@pytest.mark.parametrize("op", _REG3)
+def test_reg3_roundtrip(op):
+    instr = Instruction(op, rd=3, ra=7, rb=12)
+    assert decode(encode(instr)) == instr
+
+
+@pytest.mark.parametrize("op", _IMM14)
+@pytest.mark.parametrize("imm", [0, 1, -1, IMM14_MAX, IMM14_MIN])
+def test_imm14_roundtrip(op, imm):
+    instr = Instruction(op, rd=1, ra=2, imm=imm)
+    assert decode(encode(instr)) == instr
+
+
+@pytest.mark.parametrize("op", _JUMPS)
+@pytest.mark.parametrize("imm", [0, 5, -5, IMM26_MAX, IMM26_MIN])
+def test_branch_roundtrip(op, imm):
+    instr = Instruction(op, imm=imm)
+    assert decode(encode(instr)) == instr
+
+
+@pytest.mark.parametrize("op", [Opcode.MOVW, Opcode.MOVT])
+@pytest.mark.parametrize("imm", [0, 1, 0xFFFF, 0x1234])
+def test_mov16_roundtrip(op, imm):
+    instr = Instruction(op, rd=9, imm=imm)
+    assert decode(encode(instr)) == instr
+
+
+def test_misc_roundtrip():
+    for instr in (
+        Instruction(Opcode.MOV, rd=1, ra=2),
+        Instruction(Opcode.MVN, rd=15, ra=0),
+        Instruction(Opcode.CMP, ra=3, rb=4),
+        Instruction(Opcode.CMPI, ra=3, imm=-7),
+        Instruction(Opcode.BX, ra=14),
+        Instruction(Opcode.NOP),
+        Instruction(Opcode.HALT),
+    ):
+        assert decode(encode(instr)) == instr
+
+
+def test_imm14_out_of_range():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.ADDI, rd=0, ra=0, imm=IMM14_MAX + 1))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.ADDI, rd=0, ra=0, imm=IMM14_MIN - 1))
+
+
+def test_mov16_out_of_range():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.MOVW, rd=0, imm=0x10000))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.MOVT, rd=0, imm=-1))
+
+
+def test_register_out_of_range():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.ADD, rd=16, ra=0, rb=0))
+
+
+def test_decode_unknown_opcode():
+    with pytest.raises(EncodingError):
+        decode(63 << 26)  # opcode 63 unassigned
+
+
+def test_decode_rejects_non_word():
+    with pytest.raises(EncodingError):
+        decode(-1)
+    with pytest.raises(EncodingError):
+        decode(1 << 32)
+
+
+def test_disassemble_readable():
+    assert disassemble(Instruction(Opcode.ADD, rd=1, ra=2, rb=3)) == "add r1, r2, r3"
+    assert disassemble(Instruction(Opcode.LDR, rd=0, ra=13, imm=8)) == "ldr r0, [sp, #8]"
+    assert disassemble(Instruction(Opcode.BX, ra=14)) == "bx lr"
+    assert disassemble(Instruction(Opcode.BEQ, imm=-2)) == "beq . + -2"
+    assert disassemble(Instruction(Opcode.HALT)) == "halt"
+
+
+@st.composite
+def instructions(draw):
+    op = draw(st.sampled_from(sorted(Opcode)))
+    rd = draw(st.integers(0, 15))
+    ra = draw(st.integers(0, 15))
+    rb = draw(st.integers(0, 15))
+    if op in ALU_REG_OPS or op in (Opcode.LDRR, Opcode.LDRBR, Opcode.STRR, Opcode.STRBR):
+        return Instruction(op, rd=rd, ra=ra, rb=rb)
+    if op in ALU_IMM_OPS or op in (Opcode.LDR, Opcode.LDRB, Opcode.STR, Opcode.STRB):
+        return Instruction(op, rd=rd, ra=ra, imm=draw(st.integers(IMM14_MIN, IMM14_MAX)))
+    if op in (Opcode.MOVW, Opcode.MOVT):
+        return Instruction(op, rd=rd, imm=draw(st.integers(0, 0xFFFF)))
+    if op in (Opcode.MOV, Opcode.MVN):
+        return Instruction(op, rd=rd, ra=ra)
+    if op is Opcode.CMP:
+        return Instruction(op, ra=ra, rb=rb)
+    if op is Opcode.CMPI:
+        return Instruction(op, ra=ra, imm=draw(st.integers(IMM14_MIN, IMM14_MAX)))
+    if op in BRANCH_OPS or op is Opcode.BL:
+        return Instruction(op, imm=draw(st.integers(IMM26_MIN, IMM26_MAX)))
+    if op is Opcode.BX:
+        return Instruction(op, ra=ra)
+    return Instruction(op)
+
+
+@given(instructions())
+def test_encode_decode_roundtrip_property(instr):
+    word = encode(instr)
+    assert 0 <= word <= 0xFFFFFFFF
+    assert decode(word) == instr

@@ -1,0 +1,59 @@
+"""Opcode metadata: cycle costs and category sets."""
+
+from repro.isa.instructions import (
+    ALU_IMM_OPS,
+    ALU_REG_OPS,
+    BRANCH_OPS,
+    LOAD_OPS,
+    MEM_OPS,
+    STORE_OPS,
+    Instruction,
+    Opcode,
+    TAKEN_BRANCH_PENALTY,
+    base_cycles,
+)
+
+
+def test_category_sets_are_disjoint():
+    assert not (LOAD_OPS & STORE_OPS)
+    assert not (ALU_REG_OPS & ALU_IMM_OPS)
+    assert MEM_OPS == LOAD_OPS | STORE_OPS
+    assert Opcode.BL not in BRANCH_OPS  # BL handled separately (link)
+
+
+def test_every_opcode_has_cycles():
+    for op in Opcode:
+        assert base_cycles(op) >= 1
+
+
+def test_memory_ops_cost_extra():
+    assert base_cycles(Opcode.LDR) == 2
+    assert base_cycles(Opcode.STR) == 2
+    assert base_cycles(Opcode.ADD) == 1
+
+
+def test_divide_is_slow():
+    # Cortex M0+ has no divider; division is a multi-cycle software op.
+    assert base_cycles(Opcode.SDIV) > 10
+    assert base_cycles(Opcode.UDIV) == base_cycles(Opcode.SDIV)
+
+
+def test_multiply_single_cycle():
+    assert base_cycles(Opcode.MUL) == 1
+
+
+def test_taken_branch_penalty_positive():
+    assert TAKEN_BRANCH_PENALTY >= 1
+
+
+def test_instruction_equality_and_hash():
+    a = Instruction(Opcode.ADD, rd=1, ra=2, rb=3)
+    b = Instruction(Opcode.ADD, rd=1, ra=2, rb=3)
+    c = Instruction(Opcode.ADD, rd=1, ra=2, rb=4)
+    assert a == b and hash(a) == hash(b)
+    assert a != c
+    assert a != "add"
+
+
+def test_instruction_repr_uses_disassembly():
+    assert "add r1, r2, r3" in repr(Instruction(Opcode.ADD, rd=1, ra=2, rb=3))

@@ -1,0 +1,49 @@
+"""Register helpers: names, aliases, and 32-bit wrapping."""
+
+import pytest
+
+from repro.isa.registers import FP, LR, NUM_REGS, SP, REG_NAMES, reg_name, s32, u32
+
+
+def test_register_count():
+    assert NUM_REGS == 16
+
+
+def test_aliases_map_to_indices():
+    assert REG_NAMES["sp"] == SP == 13
+    assert REG_NAMES["lr"] == LR == 14
+    assert REG_NAMES["fp"] == FP == 11
+    assert REG_NAMES["r0"] == 0
+
+
+def test_reg_name_prefers_alias():
+    assert reg_name(13) == "sp"
+    assert reg_name(14) == "lr"
+    assert reg_name(11) == "fp"
+    assert reg_name(0) == "r0"
+    assert reg_name(12) == "r12"
+
+
+def test_reg_name_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        reg_name(16)
+    with pytest.raises(ValueError):
+        reg_name(-1)
+
+
+def test_u32_wraps():
+    assert u32(0x1_0000_0001) == 1
+    assert u32(-1) == 0xFFFFFFFF
+    assert u32(0) == 0
+
+
+def test_s32_sign_extension():
+    assert s32(0xFFFFFFFF) == -1
+    assert s32(0x7FFFFFFF) == 2**31 - 1
+    assert s32(0x80000000) == -(2**31)
+    assert s32(5) == 5
+
+
+def test_s32_u32_roundtrip():
+    for value in (-1, 0, 1, 2**31 - 1, -(2**31), 12345, -98765):
+        assert s32(u32(value)) == value

@@ -1,0 +1,99 @@
+"""GBF/LBF dominance tracking: transitions, composites, conservativeness."""
+
+from hypothesis import given, strategies as st
+
+from repro.mem.bloom import GlobalBloomFilter, LocalBloomFilter, WordState
+
+
+# ------------------------------------------------------------------ LBF
+def test_lbf_starts_unknown():
+    lbf = LocalBloomFilter(4)
+    assert lbf.states == [WordState.UNKNOWN] * 4
+    assert lbf.composite == 0
+
+
+def test_first_access_wins_read():
+    lbf = LocalBloomFilter(4)
+    lbf.on_read(1)
+    lbf.on_write(1)  # later write does not change read-dominance
+    assert lbf.states[1] == WordState.READ
+    assert lbf.composite == 1
+
+
+def test_first_access_wins_write():
+    lbf = LocalBloomFilter(4)
+    lbf.on_write(2)
+    lbf.on_read(2)
+    assert lbf.states[2] == WordState.WRITE
+    assert lbf.composite == 0
+
+
+def test_composite_is_or_of_lsbs():
+    # Paper: composite = OR of the LSBs of all word states.
+    lbf = LocalBloomFilter(4)
+    lbf.on_write(0)
+    lbf.on_write(1)
+    assert lbf.composite == 0
+    lbf.on_read(3)
+    assert lbf.composite == 1
+
+
+def test_mark_all_read_is_conservative():
+    lbf = LocalBloomFilter(4)
+    lbf.mark_all_read()
+    assert lbf.composite == 1
+    lbf.on_write(0)  # still read-dominated: first access was the mark
+    assert lbf.states[0] == WordState.READ
+
+
+def test_lbf_reset():
+    lbf = LocalBloomFilter(4)
+    lbf.on_read(0)
+    lbf.reset()
+    assert lbf.composite == 0
+    assert lbf.states == [WordState.UNKNOWN] * 4
+
+
+# ------------------------------------------------------------------ GBF
+def test_gbf_logs_only_read_dominated():
+    gbf = GlobalBloomFilter(8)
+    gbf.log_eviction(0x100, composite=0)
+    assert not gbf.was_read_dominated(0x100)
+    gbf.log_eviction(0x100, composite=1)
+    assert gbf.was_read_dominated(0x100)
+
+
+def test_gbf_reset_clears():
+    gbf = GlobalBloomFilter(8)
+    gbf.log_eviction(0x200, 1)
+    gbf.reset()
+    assert not gbf.was_read_dominated(0x200)
+
+
+def test_gbf_rejects_zero_bits():
+    import pytest
+
+    with pytest.raises(ValueError):
+        GlobalBloomFilter(0)
+
+
+@given(
+    logged=st.lists(st.integers(0, 2**20).map(lambda x: x * 16), max_size=30),
+    probes=st.lists(st.integers(0, 2**20).map(lambda x: x * 16), max_size=30),
+)
+def test_gbf_never_false_negative(logged, probes):
+    """Aliasing may cause false positives (safe) but never a false
+    negative: every logged read-dominated block must be reported."""
+    gbf = GlobalBloomFilter(8)
+    for addr in logged:
+        gbf.log_eviction(addr, 1)
+    for addr in logged:
+        assert gbf.was_read_dominated(addr)
+
+
+@given(st.integers(1, 64))
+def test_gbf_bits_bounded(num_bits):
+    gbf = GlobalBloomFilter(num_bits)
+    for addr in range(0, 4096, 16):
+        gbf.log_eviction(addr, 1)
+    assert gbf.bits < (1 << num_bits)

@@ -1,0 +1,259 @@
+"""NvMR renaming structures: map table, MTC, and the free-list ring."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.maptable import FreeList, MapTable, MapTableCache, MapTableEntry
+
+
+# ------------------------------------------------------------------ MTC
+def make_mtc(entries=8, assoc=2):
+    return MapTableCache(entries, assoc)
+
+
+def test_mtc_insert_and_lookup():
+    mtc = make_mtc()
+    entry = MapTableEntry(0x100, 0x100, 0x9000, dirty=True)
+    mtc.insert(entry)
+    assert mtc.lookup(0x100) is entry
+    assert mtc.lookup(0x110) is None
+    assert mtc.hits == 1 and mtc.lookups == 2
+
+
+def test_mtc_peek_does_not_promote():
+    mtc = make_mtc(entries=4, assoc=2)
+    # Two entries in the same set (set index derived from tag >> 4).
+    a = MapTableEntry(0x000, 0, 1, False)
+    b = MapTableEntry(0x040, 0, 2, False)
+    mtc.insert(a)
+    mtc.insert(b)  # b is MRU
+    mtc.peek(0x000)  # must NOT promote a
+    assert mtc.victim_for(0x080) is a
+
+
+def test_mtc_lookup_promotes_lru():
+    mtc = make_mtc(entries=4, assoc=2)
+    a = MapTableEntry(0x000, 0, 1, False)
+    b = MapTableEntry(0x040, 0, 2, False)
+    mtc.insert(a)
+    mtc.insert(b)
+    mtc.lookup(0x000)  # promote a
+    assert mtc.victim_for(0x080) is b
+
+
+def test_mtc_insert_refuses_to_drop_dirty_victim():
+    mtc = make_mtc(entries=2, assoc=1)
+    mtc.insert(MapTableEntry(0x000, 0, 1, dirty=True))
+    with pytest.raises(RuntimeError, match="dirty"):
+        mtc.insert(MapTableEntry(0x080, 0, 2, dirty=False))
+
+
+def test_mtc_insert_drops_clean_victim_silently():
+    mtc = make_mtc(entries=2, assoc=1)
+    mtc.insert(MapTableEntry(0x000, 0, 1, dirty=False))
+    mtc.insert(MapTableEntry(0x080, 0, 2, dirty=False))
+    assert mtc.peek(0x000) is None
+    assert mtc.peek(0x080) is not None
+
+
+def test_mtc_invalidate():
+    mtc = make_mtc()
+    mtc.insert(MapTableEntry(0x100, 0, 1, False))
+    assert mtc.invalidate(0x100) is not None
+    assert mtc.invalidate(0x100) is None
+    assert mtc.peek(0x100) is None
+
+
+def test_mtc_clean_after_backup_commits_mappings():
+    mtc = make_mtc()
+    entry = MapTableEntry(0x100, 0x100, 0x9000, dirty=True)
+    mtc.insert(entry)
+    mtc.clean_after_backup()
+    assert entry.old == 0x9000
+    assert not entry.dirty
+    assert mtc.dirty_entries() == []
+
+
+def test_mtc_clear_wipes_sram():
+    mtc = make_mtc()
+    mtc.insert(MapTableEntry(0x100, 0, 1, True))
+    mtc.clear()
+    assert mtc.all_entries() == []
+
+
+def test_mtc_validates_geometry():
+    with pytest.raises(ValueError):
+        MapTableCache(10, 4)
+
+
+# ------------------------------------------------------------ MapTable
+def test_map_table_commit_and_lookup():
+    table = MapTable(4)
+    assert table.commit(0x100, 0x9000) is None
+    assert table.lookup(0x100) == 0x9000
+    assert 0x100 in table
+    assert len(table) == 1
+
+
+def test_map_table_commit_returns_previous():
+    table = MapTable(4)
+    table.commit(0x100, 0x9000)
+    assert table.commit(0x100, 0x9010) == 0x9000
+    assert len(table) == 1
+
+
+def test_map_table_overflow_guard():
+    table = MapTable(1)
+    table.commit(0x100, 0x9000)
+    with pytest.raises(RuntimeError):
+        table.commit(0x200, 0x9010)
+
+
+def test_map_table_lru_victim_order():
+    table = MapTable(4)
+    table.commit(0x100, 1)
+    table.commit(0x200, 2)
+    assert table.lru_tag() == 0x100
+    table.lookup(0x100)  # refresh
+    assert table.lru_tag() == 0x200
+    table.peek(0x200)  # peek must not refresh
+    assert table.lru_tag() == 0x200
+
+
+def test_map_table_remove():
+    table = MapTable(4)
+    table.commit(0x100, 1)
+    assert table.remove(0x100) == 1
+    assert table.remove(0x100) is None
+    assert not table.is_full
+
+
+# ------------------------------------------------------------ FreeList
+def test_free_list_fifo_order():
+    fl = FreeList([10, 20, 30])
+    assert fl.pop() == 10
+    assert fl.pop() == 20
+    fl.commit()  # pops are committed before their mappings return
+    fl.push(10)
+    assert fl.pop() == 30
+    assert fl.pop() == 10
+
+
+def test_free_list_empty_and_overflow():
+    fl = FreeList([1])
+    fl.pop()
+    assert fl.is_empty
+    with pytest.raises(RuntimeError):
+        fl.pop()
+    fl.push(1)
+    with pytest.raises(RuntimeError):
+        fl.push(2)
+
+
+def test_free_list_rejects_empty_init():
+    with pytest.raises(ValueError):
+        FreeList([])
+
+
+def test_restore_reverts_uncommitted_pops():
+    fl = FreeList([1, 2, 3])
+    fl.commit()
+    a = fl.pop()
+    fl.restore()
+    assert len(fl) == 3
+    assert fl.pop() == a  # handed out again after the revert
+
+
+def test_commit_makes_pops_permanent():
+    fl = FreeList([1, 2, 3])
+    fl.pop()
+    fl.commit()
+    fl.restore()
+    assert len(fl) == 2
+
+
+def test_commit_push_preserves_uncommitted_pops():
+    """A reclaim's push commits, but outstanding pops must revert."""
+    fl = FreeList([1, 2, 3])
+    committed_out = fl.pop()  # a committed rename holds mapping 1
+    fl.commit()
+    fl.pop()  # uncommitted pop (dirty MTC entry in flight)
+    fl.push(committed_out)  # reclaim returns the committed-out mapping
+    fl.commit_push()
+    fl.restore()
+    # The pop reverted, the push survived: mappings 2, 3 and 1.
+    assert len(fl) == 3
+    popped = [fl.pop() for _ in range(3)]
+    assert set(popped) == {1, 2, 3}
+
+
+def test_push_refuses_to_clobber_uncommitted_pop_slot():
+    """Pushing while the committed window is full would overwrite a slot
+    a power failure still needs; the structure must refuse."""
+    fl = FreeList([1, 2, 3])
+    fl.commit()  # committed window: all three slots
+    fl.pop()  # uncommitted
+    with pytest.raises(RuntimeError, match="uncommitted pop"):
+        fl.push(99)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_free_list_conservation_property(data):
+    """Mappings are conserved: at any commit point, popped + free ==
+    initial, and restore never duplicates or loses a mapping."""
+    initial = list(range(100, 100 + 8))
+    fl = FreeList(list(initial))
+    fl.commit()
+    in_flight = []
+    committed_in_flight = []
+    for _ in range(data.draw(st.integers(0, 30))):
+        action = data.draw(st.sampled_from(["pop", "backup", "fail"]))
+        if action == "pop" and not fl.is_empty:
+            in_flight.append(fl.pop())
+        elif action == "backup":
+            # A backup commits in-flight mappings into the "map table"
+            # (they stay out of the list) — mirror NvMR's commit.
+            committed_in_flight.extend(in_flight)
+            in_flight = []
+            fl.commit()
+        elif action == "fail":
+            fl.restore()
+            in_flight = []
+    fl.restore()
+    remaining = [fl.pop() for _ in range(len(fl))]
+    assert sorted(remaining + committed_in_flight) == sorted(initial)
+
+
+def test_lifo_free_list_pops_most_recent_push():
+    fl = FreeList([1, 2, 3], mode="lifo")
+    a = fl.pop()
+    b = fl.pop()
+    # LIFO pops from the tail of the ring: most recently pushed first.
+    assert (a, b) == (3, 2)
+    fl.commit()
+    fl.push(a)
+    assert fl.pop() == a
+
+
+def test_lifo_restore_reverts_pops():
+    fl = FreeList([1, 2, 3], mode="lifo")
+    fl.commit()
+    fl.pop()
+    fl.restore()
+    assert len(fl) == 3
+    assert fl.pop() == 3
+
+
+def test_lifo_rejects_commit_push():
+    fl = FreeList([1, 2], mode="lifo")
+    fl.pop()
+    fl.commit()
+    fl.push(2)
+    with pytest.raises(RuntimeError, match="fifo"):
+        fl.commit_push()
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="mode"):
+        FreeList([1], mode="random")

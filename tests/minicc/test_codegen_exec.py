@@ -1,0 +1,275 @@
+"""Compile-and-execute tests: mini-C programs vs expected results.
+
+Each program writes into ``int out[...]``; we compile, run continuously
+and compare against hand-computed (or Python-computed) values.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.minicc import compile_minic
+from repro.sim.reference import run_reference
+from repro.workloads.csem import sdiv, srem, u32, w32
+
+
+def run_main(source, out_words=1, symbol="g_out"):
+    program = compile_minic(source)
+    result = run_reference(program)
+    return result.words_at(program.symbol(symbol), out_words)
+
+
+def test_return_value_to_global():
+    assert run_main("int out[1]; int main() { out[0] = 7; return 0; }") == [7]
+
+
+def test_arithmetic_and_precedence():
+    src = "int out[1]; int main() { out[0] = 2 + 3 * 4 - 10 / 2; return 0; }"
+    assert run_main(src) == [9]
+
+
+def test_signed_division_truncates():
+    src = "int out[2]; int main() { out[0] = (0-7)/2; out[1] = (0-7)%2; return 0; }"
+    assert run_main(src, 2) == [u32(-3), u32(-1)]
+
+
+def test_shifts_signed_and_builtin_unsigned():
+    src = (
+        "int out[2]; int main() {"
+        " int x; x = 0 - 16; out[0] = x >> 2; out[1] = __lsr(x, 28); return 0; }"
+    )
+    assert run_main(src, 2) == [u32(-4), 0xF]
+
+
+def test_comparisons_materialise_01():
+    src = (
+        "int out[6]; int main() {"
+        " out[0] = 1 < 2; out[1] = 2 < 1; out[2] = 2 == 2;"
+        " out[3] = 2 != 2; out[4] = 3 >= 3; out[5] = 3 <= 2; return 0; }"
+    )
+    assert run_main(src, 6) == [1, 0, 1, 0, 1, 0]
+
+
+def test_short_circuit_evaluation():
+    src = (
+        "int calls; int probe(int v) { calls += 1; return v; }"
+        "int out[3]; int main() {"
+        " out[0] = 0 && probe(1);"
+        " out[1] = 1 || probe(1);"
+        " out[2] = calls; return 0; }"
+    )
+    assert run_main(src, 3) == [0, 1, 0]
+
+
+def test_ternary():
+    src = "int out[2]; int main() { out[0] = 1 ? 10 : 20; out[1] = 0 ? 10 : 20; return 0; }"
+    assert run_main(src, 2) == [10, 20]
+
+
+def test_while_and_break_continue():
+    src = (
+        "int out[1]; int main() { int i; int s; i = 0; s = 0;"
+        " while (1) { i++; if (i > 10) break; if (i % 2) continue; s += i; }"
+        " out[0] = s; return 0; }"
+    )
+    assert run_main(src) == [2 + 4 + 6 + 8 + 10]
+
+
+def test_do_while_runs_at_least_once():
+    src = (
+        "int out[1]; int main() { int i; i = 100;"
+        " do { i++; } while (i < 5); out[0] = i; return 0; }"
+    )
+    assert run_main(src) == [101]
+
+
+def test_nested_loops():
+    src = (
+        "int out[1]; int main() { int s; s = 0;"
+        " for (int i = 0; i < 4; i++) for (int j = 0; j < 4; j++) s += i * j;"
+        " out[0] = s; return 0; }"
+    )
+    assert run_main(src) == [36]
+
+
+def test_recursion():
+    src = (
+        "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }"
+        "int out[1]; int main() { out[0] = fact(7); return 0; }"
+    )
+    assert run_main(src) == [5040]
+
+
+def test_mutual_recursion():
+    # Forward references work: sema registers all functions first.
+    src = (
+        "int out[2];"
+        "int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }"
+        "int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }"
+        "int main() { out[0] = is_even(10); out[1] = is_odd(7); return 0; }"
+    )
+    assert run_main(src, 2) == [1, 1]
+
+
+def test_more_than_four_arguments():
+    src = (
+        "int f(int a, int b, int c, int d, int e, int g, int h) {"
+        " return a + b * 10 + c * 100 + d * 1000 + e * 10000 + g * 100000 + h * 1000000; }"
+        "int out[1]; int main() { out[0] = f(1, 2, 3, 4, 5, 6, 7); return 0; }"
+    )
+    assert run_main(src) == [7654321]
+
+
+def test_pointers_and_address_of():
+    src = (
+        "int out[2]; int main() { int a; int *p; a = 5; p = &a;"
+        " *p = *p + 2; out[0] = a; out[1] = *p; return 0; }"
+    )
+    assert run_main(src, 2) == [7, 7]
+
+
+def test_pointer_arithmetic_scales():
+    src = (
+        "int arr[4]; int out[2]; int main() {"
+        " int *p; arr[2] = 77; p = arr; p = p + 2; out[0] = *p;"
+        " out[1] = p - arr; return 0; }"
+    )
+    assert run_main(src, 2) == [77, 2]
+
+
+def test_char_array_byte_semantics():
+    src = (
+        "char buf[8]; int out[3]; int main() {"
+        " buf[0] = 300; buf[1] = 'A';"
+        " out[0] = buf[0]; out[1] = buf[1]; out[2] = buf[2]; return 0; }"
+    )
+    # 300 truncates to a byte (44); untouched bytes read 0.
+    assert run_main(src, 3) == [44, 65, 0]
+
+
+def test_char_pointer_string():
+    src = (
+        'char msg[] = "hi!";'
+        "int out[4]; int main() { char *p; p = msg; int i;"
+        " for (i = 0; i < 4; i++) out[i] = p[i]; return 0; }"
+    )
+    assert run_main(src, 4) == [104, 105, 33, 0]
+
+
+def test_string_literal_argument():
+    src = (
+        "int first(char *s) { return s[0]; }"
+        'int out[1]; int main() { out[0] = first("Q"); return 0; }'
+    )
+    assert run_main(src) == [81]
+
+
+def test_global_initialisers():
+    src = (
+        "int a = 5; int b[3] = {10, 20, 30}; int c[3] = {1};"
+        "int out[5]; int main() {"
+        " out[0] = a; out[1] = b[2]; out[2] = c[0]; out[3] = c[2];"
+        " out[4] = b[0] + b[1]; return 0; }"
+    )
+    assert run_main(src, 5) == [5, 30, 1, 0, 30]
+
+
+def test_local_array_initialiser():
+    src = (
+        "int out[3]; int main() { int a[3] = {7, 8, 9};"
+        " out[0] = a[0]; out[1] = a[1]; out[2] = a[2]; return 0; }"
+    )
+    assert run_main(src, 3) == [7, 8, 9]
+
+
+def test_negative_constants_wrap():
+    src = "int out[1]; int main() { out[0] = -1; return 0; }"
+    assert run_main(src) == [0xFFFFFFFF]
+
+
+def test_unary_operators():
+    src = (
+        "int out[3]; int main() { int a; a = 5;"
+        " out[0] = -a; out[1] = ~a; out[2] = !a + !0; return 0; }"
+    )
+    assert run_main(src, 3) == [u32(-5), u32(~5), 1]
+
+
+def test_array_parameter_decays():
+    src = (
+        "int sum3(int v[]) { return v[0] + v[1] + v[2]; }"
+        "int arr[3] = {1, 2, 3}; int out[1];"
+        "int main() { out[0] = sum3(arr); return 0; }"
+    )
+    assert run_main(src) == [6]
+
+
+def test_void_function_call():
+    src = (
+        "int g; void bump() { g += 1; }"
+        "int out[1]; int main() { bump(); bump(); out[0] = g; return 0; }"
+    )
+    assert run_main(src) == [2]
+
+
+def test_multi_declaration_with_initialisers():
+    src = (
+        "int out[3]; int main() { int a = 1, b = 2, c; c = a + b;"
+        " out[0] = a; out[1] = b; out[2] = c; return 0; }"
+    )
+    assert run_main(src, 3) == [1, 2, 3]
+
+
+def test_comment_forms_ignored():
+    src = (
+        "int out[1]; // declaration\n"
+        "int main() { /* set */ out[0] = 3; return 0; } // done\n"
+    )
+    assert run_main(src) == [3]
+
+
+# ----------------------------------------------------- property testing
+_BIN_OPS = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"]
+
+
+@st.composite
+def expressions(draw, depth=0):
+    """Random integer expression trees with matching Python evaluators."""
+    if depth >= 3 or draw(st.booleans()):
+        value = draw(st.integers(-100, 100))
+        return str(value) if value >= 0 else f"(0 - {-value})", value
+    op = draw(st.sampled_from(_BIN_OPS))
+    left_src, left_val = draw(expressions(depth + 1))
+    right_src, right_val = draw(expressions(depth + 1))
+    if op in ("<<", ">>"):
+        shift = draw(st.integers(0, 8))
+        right_src, right_val = str(shift), shift
+    src = f"({left_src} {op} {right_src})"
+    if op == "+":
+        value = w32(left_val + right_val)
+    elif op == "-":
+        value = w32(left_val - right_val)
+    elif op == "*":
+        value = w32(left_val * right_val)
+    elif op == "/":
+        value = sdiv(left_val, right_val)
+    elif op == "%":
+        value = srem(left_val, right_val)
+    elif op == "&":
+        value = w32(u32(left_val) & u32(right_val))
+    elif op == "|":
+        value = w32(u32(left_val) | u32(right_val))
+    elif op == "^":
+        value = w32(u32(left_val) ^ u32(right_val))
+    elif op == "<<":
+        value = w32(u32(left_val) << right_val)
+    else:
+        value = left_val >> right_val
+    return src, value
+
+
+@settings(max_examples=40, deadline=None)
+@given(expressions())
+def test_random_expressions_match_c_semantics(expr):
+    source, expected = expr
+    out = run_main(f"int out[1]; int main() {{ out[0] = {source}; return 0; }}")
+    assert out == [u32(expected)]

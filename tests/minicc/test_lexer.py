@@ -1,0 +1,77 @@
+"""mini-C tokenizer."""
+
+import pytest
+
+from repro.minicc.errors import MiniCError
+from repro.minicc.lexer import tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)[:-1]]
+
+
+def test_numbers():
+    assert kinds("42 0x1F 0b101") == [
+        ("number", 42),
+        ("number", 31),
+        ("number", 5),
+    ]
+
+
+def test_char_literals():
+    assert kinds("'a' '\\n' '\\0' '\\\\'") == [
+        ("number", 97),
+        ("number", 10),
+        ("number", 0),
+        ("number", 92),
+    ]
+
+
+def test_keywords_vs_identifiers():
+    toks = kinds("int foo while whilefoo")
+    assert toks == [
+        ("keyword", "int"),
+        ("ident", "foo"),
+        ("keyword", "while"),
+        ("ident", "whilefoo"),
+    ]
+
+
+def test_operators_maximal_munch():
+    toks = [v for _, v in kinds("a<<=b <= < == = && & ++ +")]
+    assert toks == ["a", "<<=", "b", "<=", "<", "==", "=", "&&", "&", "++", "+"]
+
+
+def test_string_literal():
+    toks = kinds('"hi\\n"')
+    assert toks == [("string", "hi\n")]
+
+
+def test_comments_skipped():
+    toks = kinds("a // line comment\nb /* block\ncomment */ c")
+    assert [v for _, v in toks] == ["a", "b", "c"]
+
+
+def test_line_numbers():
+    tokens = tokenize("a\nb\n\nc")
+    assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(MiniCError):
+        tokenize("/* never ends")
+
+
+def test_unterminated_string():
+    with pytest.raises(MiniCError):
+        tokenize('"oops')
+
+
+def test_bad_character():
+    with pytest.raises(MiniCError):
+        tokenize("a @ b")
+
+
+def test_bad_escape():
+    with pytest.raises(MiniCError):
+        tokenize("'\\q'")

@@ -1,0 +1,177 @@
+"""mini-C parser AST shapes and semantic-analysis error paths."""
+
+import pytest
+
+from repro.minicc import ast_nodes as ast
+from repro.minicc.errors import MiniCError
+from repro.minicc.parser import parse
+from repro.minicc.sema import analyze
+
+
+def parse_ok(source):
+    return analyze(parse(source))
+
+
+def test_precedence():
+    unit = parse("int main() { return 1 + 2 * 3; }")
+    ret = unit.functions[0].body.statements[0]
+    assert isinstance(ret.value, ast.Binary) and ret.value.op == "+"
+    assert isinstance(ret.value.right, ast.Binary) and ret.value.right.op == "*"
+
+
+def test_assignment_right_associative():
+    unit = parse("int main() { int a; int b; a = b = 1; return a; }")
+    stmt = unit.functions[0].body.statements[2]
+    assert isinstance(stmt.expr, ast.Assign)
+    assert isinstance(stmt.expr.value, ast.Assign)
+
+
+def test_compound_assign_desugars():
+    unit = parse("int main() { int a; a += 2; return a; }")
+    stmt = unit.functions[0].body.statements[1]
+    assert isinstance(stmt.expr, ast.Assign)
+    assert isinstance(stmt.expr.value, ast.Binary)
+    assert stmt.expr.value.op == "+"
+
+
+def test_increment_desugars():
+    unit = parse("int main() { int i; i++; ++i; return i; }")
+    for stmt in unit.functions[0].body.statements[1:3]:
+        assert isinstance(stmt.expr, ast.Assign)
+
+
+def test_array_size_constant_folded():
+    unit = parse("int a[4 * 4]; int main() { return 0; }")
+    assert unit.globals[0].type.array_size == 16
+
+
+def test_inferred_array_size():
+    unit = parse("int a[] = {1, 2, 3}; int main() { return 0; }")
+    assert unit.globals[0].type.array_size == 3
+
+
+def test_string_array_size_includes_nul():
+    unit = parse('char s[] = "abc"; int main() { return 0; }')
+    assert unit.globals[0].type.array_size == 4
+
+
+def test_ternary_and_logic_parse():
+    unit = parse("int main() { return (1 && 0) ? 2 : 3 || 4; }")
+    ret = unit.functions[0].body.statements[0]
+    assert isinstance(ret.value, ast.Conditional)
+
+
+def test_for_with_declaration():
+    unit = parse("int main() { int s; s = 0; for (int i = 0; i < 3; i++) s += i; return s; }")
+    body = unit.functions[0].body.statements
+    assert isinstance(body[2], ast.For)
+    assert isinstance(body[2].init, ast.Declaration)
+
+
+def test_do_while_parses():
+    unit = parse("int main() { int i; i = 0; do { i++; } while (i < 3); return i; }")
+    assert isinstance(unit.functions[0].body.statements[2], ast.DoWhile)
+
+
+# ------------------------------------------------------------ sema errors
+def test_undefined_variable():
+    with pytest.raises(MiniCError, match="undefined variable"):
+        parse_ok("int main() { return x; }")
+
+
+def test_undefined_function():
+    with pytest.raises(MiniCError, match="undefined function"):
+        parse_ok("int main() { return f(); }")
+
+
+def test_arity_mismatch():
+    with pytest.raises(MiniCError, match="expects 2"):
+        parse_ok("int f(int a, int b) { return a; } int main() { return f(1); }")
+
+
+def test_duplicate_local():
+    with pytest.raises(MiniCError, match="duplicate"):
+        parse_ok("int main() { int a; int a; return 0; }")
+
+
+def test_duplicate_global():
+    with pytest.raises(MiniCError, match="duplicate"):
+        parse_ok("int g; int g; int main() { return 0; }")
+
+
+def test_duplicate_function():
+    with pytest.raises(MiniCError, match="duplicate function"):
+        parse_ok("int f() { return 0; } int f() { return 1; } int main() { return 0; }")
+
+
+def test_missing_main():
+    with pytest.raises(MiniCError, match="no main"):
+        parse_ok("int f() { return 0; }")
+
+
+def test_shadowing_in_inner_scope_allowed():
+    parse_ok("int main() { int a; a = 1; { int a; a = 2; } return a; }")
+
+
+def test_scope_ends_with_block():
+    with pytest.raises(MiniCError, match="undefined variable"):
+        parse_ok("int main() { { int a; a = 1; } return a; }")
+
+
+def test_assign_to_array_rejected():
+    with pytest.raises(MiniCError, match="cannot assign to array"):
+        parse_ok("int a[3]; int main() { a = 0; return 0; }")
+
+
+def test_assign_to_rvalue_rejected():
+    with pytest.raises(MiniCError, match="lvalue"):
+        parse_ok("int main() { 3 = 4; return 0; }")
+
+
+def test_deref_non_pointer_rejected():
+    with pytest.raises(MiniCError, match="dereferencing"):
+        parse_ok("int main() { int a; return *a; }")
+
+
+def test_index_non_pointer_rejected():
+    with pytest.raises(MiniCError, match="indexing"):
+        parse_ok("int main() { int a; return a[0]; }")
+
+
+def test_void_variable_rejected():
+    with pytest.raises(MiniCError, match="void"):
+        parse_ok("int main() { void v; return 0; }")
+
+
+def test_void_function_returning_value_rejected():
+    with pytest.raises(MiniCError, match="void function"):
+        parse_ok("void f() { return 1; } int main() { return 0; }")
+
+
+def test_nonvoid_function_empty_return_rejected():
+    with pytest.raises(MiniCError, match="returns nothing"):
+        parse_ok("int f() { return; } int main() { return 0; }")
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(MiniCError, match="outside"):
+        parse_ok("int main() { break; return 0; }")
+
+
+def test_global_initialiser_must_be_constant():
+    with pytest.raises(MiniCError, match="constant"):
+        parse_ok("int g; int h = g; int main() { return 0; }")
+
+
+def test_too_many_initialisers_rejected():
+    with pytest.raises(MiniCError, match="too many"):
+        parse_ok("int a[2] = {1, 2, 3}; int main() { return 0; }")
+
+
+def test_add_two_pointers_rejected():
+    with pytest.raises(MiniCError, match="add two pointers"):
+        parse_ok("int main() { int a[2]; int b[2]; return a + b != 0; }")
+
+
+def test_builtins_resolve():
+    parse_ok("int main() { return __lsr(8, 1) + __udiv(9, 2) + __urem(9, 2); }")

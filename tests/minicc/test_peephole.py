@@ -1,0 +1,91 @@
+"""Peephole optimiser: semantic equivalence and actual shrinkage."""
+
+import pytest
+
+from repro.minicc import compile_minic
+from repro.minicc.peephole import optimize_asm
+from repro.sim.reference import run_reference
+from repro.workloads import BENCHMARKS, reference_outputs, workload_source
+
+
+def test_branch_to_next_removed():
+    text = "    b .L1\n.L1:\n    halt\n"
+    assert optimize_asm(text) == ".L1:\n    halt\n"
+
+
+def test_branch_to_other_label_kept():
+    text = "    b .L2\n.L1:\n    halt\n"
+    assert optimize_asm(text) == text
+
+
+def test_store_load_elided():
+    text = "    str r0, [fp, #-12]\n    ldr r0, [fp, #-12]\n    halt\n"
+    assert optimize_asm(text) == "    str r0, [fp, #-12]\n    halt\n"
+
+
+def test_store_load_different_slot_kept():
+    text = "    str r0, [fp, #-12]\n    ldr r0, [fp, #-16]\n"
+    assert optimize_asm(text) == text
+
+
+def test_store_load_different_register_kept():
+    text = "    str r0, [fp, #-12]\n    ldr r3, [fp, #-12]\n"
+    assert optimize_asm(text) == text
+
+
+def test_push_leaf_pop_rewritten():
+    text = (
+        "    sub sp, sp, #4\n"
+        "    str r0, [sp, #0]\n"
+        "    ldr r0, [fp, #-16]\n"
+        "    ldr r1, [sp, #0]\n"
+        "    add sp, sp, #4\n"
+    )
+    assert optimize_asm(text) == "    mov r1, r0\n    ldr r0, [fp, #-16]\n"
+
+
+def test_push_pop_with_r1_in_middle_kept():
+    text = (
+        "    sub sp, sp, #4\n"
+        "    str r0, [sp, #0]\n"
+        "    movw r1, #5\n"
+        "    ldr r1, [sp, #0]\n"
+        "    add sp, sp, #4\n"
+    )
+    assert optimize_asm(text) == text
+
+
+def test_push_pop_across_label_kept():
+    text = (
+        "    sub sp, sp, #4\n"
+        "    str r0, [sp, #0]\n"
+        ".L0:\n"
+        "    ldr r1, [sp, #0]\n"
+        "    add sp, sp, #4\n"
+    )
+    assert optimize_asm(text) == text
+
+
+def test_push_pop_across_call_kept():
+    text = (
+        "    sub sp, sp, #4\n"
+        "    str r0, [sp, #0]\n"
+        "    bl fn_f\n"
+        "    ldr r1, [sp, #0]\n"
+        "    add sp, sp, #4\n"
+    )
+    assert optimize_asm(text) == text
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_optimized_benchmarks_equivalent_and_smaller(name):
+    """Every benchmark: identical outputs, strictly fewer instructions
+    executed, when compiled with the peephole pass."""
+    program = compile_minic(workload_source(name), optimize=True)
+    baseline = compile_minic(workload_source(name))
+    assert len(program.instructions) < len(baseline.instructions)
+    run = run_reference(program)
+    for symbol, words in reference_outputs(name).items():
+        assert run.words_at(program.symbol(symbol), len(words)) == words, symbol
+    baseline_run_instructions = run_reference(baseline).instructions
+    assert run.instructions < baseline_run_instructions

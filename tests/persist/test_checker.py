@@ -1,0 +1,137 @@
+"""Schedule validation: which persistence regimes satisfy the model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.persist import PersistModel, PersistScheduleChecker, ScheduleViolation, build_trace
+from repro.persist.checker import clank_schedule, eager_schedule, nvmr_schedule
+
+FIGURE1 = ("LD A", "ST A", "BACKUP")  # the paper's motivating bug
+TOY = (
+    "LD A", "ST B", "LD C", "ST A", "ST C", "BACKUP",
+    "ST A", "LD B", "ST B", "BACKUP",
+)
+
+
+def test_eager_violates_idempotency_on_figure1():
+    """Figure 1: persisting ST A in place before the backup corrupts
+    re-execution — the checker must reject the eager schedule."""
+    model = PersistModel(build_trace(*FIGURE1))
+    checker = PersistScheduleChecker(model)
+    schedule, atomic = eager_schedule(model)
+    with pytest.raises(ScheduleViolation, match="irpo"):
+        checker.check(schedule, atomic)
+
+
+def test_clank_schedule_satisfies_in_place_model():
+    """Persist-at-backup (atomically) resolves the Figure 3a cycle."""
+    model = PersistModel(build_trace(*TOY))
+    checker = PersistScheduleChecker(model)
+    schedule, atomic = clank_schedule(model)
+    assert checker.check(schedule, atomic)
+
+
+def test_nvmr_schedule_satisfies_renamed_model():
+    """Eager persistence is legal once every store is renamed."""
+    model = PersistModel(build_trace(*TOY), renaming=True)
+    checker = PersistScheduleChecker(model)
+    schedule, atomic = nvmr_schedule(model)
+    assert checker.check(schedule, atomic)
+
+
+def test_eager_is_fine_when_everything_write_dominated():
+    model = PersistModel(build_trace("ST A", "LD A", "ST B", "BACKUP"))
+    checker = PersistScheduleChecker(model)
+    schedule, atomic = eager_schedule(model)
+    assert checker.check(schedule, atomic)
+
+
+def test_missing_required_persist_detected():
+    model = PersistModel(build_trace("ST A", "BACKUP"))
+    checker = PersistScheduleChecker(model)
+    with pytest.raises(ScheduleViolation, match="required"):
+        checker.check([("backup", 1)])
+
+
+def test_out_of_order_backups_detected():
+    model = PersistModel(build_trace("BACKUP", "BACKUP"))
+    checker = PersistScheduleChecker(model)
+    with pytest.raises(ScheduleViolation, match="bpo"):
+        checker.check([("backup", 1), ("backup", 0)])
+
+
+def test_out_of_order_same_address_stores_detected():
+    model = PersistModel(build_trace("ST A", "ST A", "BACKUP"))
+    checker = PersistScheduleChecker(model)
+    with pytest.raises(ScheduleViolation, match="spo"):
+        checker.check(
+            [("st", 1), ("st", 0), ("backup", 2)],
+        )
+
+
+def test_duplicate_persist_detected():
+    model = PersistModel(build_trace("ST A", "BACKUP"))
+    checker = PersistScheduleChecker(model)
+    with pytest.raises(ScheduleViolation, match="duplicate"):
+        checker.check([("st", 0), ("st", 0), ("backup", 1)])
+
+
+def test_atomic_and_standalone_conflict_detected():
+    model = PersistModel(build_trace("ST A", "BACKUP"))
+    checker = PersistScheduleChecker(model)
+    with pytest.raises(ScheduleViolation, match="both"):
+        checker.check(
+            [("st", 0), ("backup", 1)],
+            atomic_with={("backup", 1): [("st", 0)]},
+        )
+
+
+def test_late_rfpo_detected():
+    model = PersistModel(build_trace("ST A", "BACKUP"))
+    checker = PersistScheduleChecker(model)
+    with pytest.raises(ScheduleViolation, match="rfpo"):
+        checker.check([("backup", 1), ("st", 0)])
+
+
+# ----------------------------------------------------- property testing
+@st.composite
+def traces(draw):
+    steps = []
+    n = draw(st.integers(3, 20))
+    for _ in range(n):
+        kind = draw(st.sampled_from(["LD", "ST", "ST", "BACKUP"]))
+        if kind == "BACKUP":
+            steps.append("BACKUP")
+        else:
+            addr = draw(st.sampled_from("ABC"))
+            steps.append(f"{kind} {addr}")
+    steps.append("BACKUP")  # close the trace so all stores matter
+    return build_trace(*steps)
+
+
+@settings(max_examples=80, deadline=None)
+@given(traces())
+def test_clank_schedule_always_valid(events):
+    """Persist-everything-at-backup satisfies any in-place model."""
+    model = PersistModel(events)
+    schedule, atomic = clank_schedule(model)
+    assert PersistScheduleChecker(model).check(schedule, atomic)
+
+
+@settings(max_examples=80, deadline=None)
+@given(traces())
+def test_nvmr_eager_always_valid_under_renaming(events):
+    """Renaming legalises eager persistence for any program — the
+    paper's central theorem, property-tested."""
+    model = PersistModel(events, renaming=True)
+    schedule, atomic = nvmr_schedule(model)
+    assert PersistScheduleChecker(model).check(schedule, atomic)
+
+
+@settings(max_examples=80, deadline=None)
+@given(traces())
+def test_renaming_never_adds_constraints(events):
+    in_place = PersistModel(events).constraints()
+    renamed = PersistModel(events, renaming=True).constraints()
+    # Renamed rfpo edges are a subset of in-place ones; spo/irpo vanish.
+    assert {c for c in renamed} <= {c for c in in_place}

@@ -1,0 +1,137 @@
+"""The persist-dependency model: dominance, constraints, atomicity."""
+
+from repro.persist import PersistModel, Relation, build_trace
+from repro.persist.model import Access, Backup
+
+
+def rels(model, relation):
+    return {
+        (c.first, c.second)
+        for c in model.constraints()
+        if c.relation == relation
+    }
+
+
+def test_build_trace_parses_paper_toy_program():
+    events = build_trace("LD A", "ST A", "BACKUP", "ST B")
+    assert events[0] == Access("A", False)
+    assert events[1] == Access("A", True)
+    assert isinstance(events[2], Backup)
+    assert events[3] == Access("B", True)
+
+
+def test_build_trace_rejects_garbage():
+    import pytest
+
+    with pytest.raises(ValueError):
+        build_trace("FROB A")
+
+
+def test_dominance_classification():
+    # Figure 2's program: A and C read-first, B write-first.
+    model = PersistModel(
+        build_trace("LD A", "ST B", "LD C", "ST A", "ST C")
+    )
+    sections = model.dominance()
+    assert sections[0] == {"A": "R", "B": "W", "C": "R"}
+
+
+def test_dominance_resets_per_section():
+    model = PersistModel(build_trace("LD A", "BACKUP", "ST A"))
+    assert model.dominance() == [{"A": "R"}, {"A": "W"}]
+
+
+def test_renaming_makes_everything_write_dominated():
+    model = PersistModel(
+        build_trace("LD A", "ST A", "LD C", "ST C"), renaming=True
+    )
+    assert model.dominance()[0] == {"A": "W", "C": "W"}
+
+
+def test_bpo_orders_backups():
+    model = PersistModel(build_trace("BACKUP", "ST A", "BACKUP"))
+    assert rels(model, Relation.BPO) == {(("backup", 0), ("backup", 2))}
+
+
+def test_spo_orders_same_address_stores():
+    model = PersistModel(build_trace("ST A", "ST B", "ST A"))
+    assert rels(model, Relation.SPO) == {(("st", 0), ("st", 2))}
+
+
+def test_rfpo_every_store_before_backup():
+    model = PersistModel(build_trace("ST A", "ST A", "BACKUP"))
+    assert rels(model, Relation.RFPO) == {
+        (("st", 0), ("backup", 2)),
+        (("st", 1), ("backup", 2)),
+    }
+
+
+def test_irpo_only_for_read_dominated():
+    model = PersistModel(build_trace("LD A", "ST A", "ST B", "BACKUP"))
+    # A read-first -> irpo; B write-first -> none (Figure 3b).
+    assert rels(model, Relation.IRPO) == {(("backup", 3), ("st", 1))}
+
+
+def test_no_constraints_to_unreached_backup():
+    # The final open section imposes no rfpo/irpo (no backup to order
+    # against; its stores may or may not persist).
+    model = PersistModel(build_trace("BACKUP", "LD A", "ST A"))
+    assert rels(model, Relation.RFPO) == set()
+    assert rels(model, Relation.IRPO) == set()
+
+
+def test_atomic_groups_match_figure_3a():
+    # Read-dominated store: must persist atomically with the backup.
+    model = PersistModel(build_trace("LD A", "ST A", "BACKUP"))
+    assert model.atomic_groups() == {2: [1]}
+
+
+def test_write_dominated_store_not_atomic():
+    model = PersistModel(build_trace("ST A", "LD A", "BACKUP"))
+    assert model.atomic_groups() == {}
+
+
+def test_renaming_removes_spo_and_irpo():
+    """Figure 4: renaming eliminates {st,spo,st}, {backup,irpo,st}."""
+    trace = build_trace("LD A", "ST A", "ST A", "LD C", "ST C", "BACKUP")
+    in_place = PersistModel(trace)
+    renamed = PersistModel(trace, renaming=True)
+    assert rels(in_place, Relation.SPO)
+    assert rels(in_place, Relation.IRPO)
+    assert rels(renamed, Relation.SPO) == set()
+    assert rels(renamed, Relation.IRPO) == set()
+    # bpo untouched: backups still persist in order (Requirement 1).
+    assert rels(renamed, Relation.BPO) == rels(in_place, Relation.BPO)
+
+
+def test_renaming_only_last_store_must_persist():
+    """Figure 4: "only the stores that immediately precede backups must
+    be persisted"."""
+    trace = build_trace("ST A", "ST A", "ST A", "ST B", "BACKUP")
+    in_place = PersistModel(trace)
+    renamed = PersistModel(trace, renaming=True)
+    assert in_place.persist_required() == [0, 1, 2, 3]
+    assert renamed.persist_required() == [2, 3]
+
+
+def test_constraint_count_shrinks_with_renaming():
+    """Renaming reaches the theoretical minimum constraint set."""
+    trace = build_trace(
+        "LD A", "ST A", "ST B", "LD C", "ST C", "BACKUP",
+        "ST A", "LD B", "ST B", "BACKUP",
+    )
+    in_place = PersistModel(trace)
+    renamed = PersistModel(trace, renaming=True)
+    assert len(renamed.constraints()) < len(in_place.constraints())
+    assert renamed.atomic_groups() == {}
+
+
+def test_sections_property():
+    model = PersistModel(build_trace("ST A", "BACKUP", "ST B"))
+    assert model.sections == [(0, 1, 1), (2, 3, None)]
+
+
+def test_constraint_str():
+    model = PersistModel(build_trace("ST A", "BACKUP"))
+    constraint = next(iter(model.constraints()))
+    assert "-->" in str(constraint)

@@ -1,0 +1,189 @@
+"""Backup policies: JIT oracle, watchdog timer, Spendthrift MLP."""
+
+import numpy as np
+import pytest
+
+from repro.policies import POLICIES, make_policy
+from repro.policies.base import NeverPolicy, PolicyAction
+from repro.policies.jit import JitPolicy
+from repro.policies.spendthrift import (
+    LABEL_MARGIN,
+    SpendthriftPolicy,
+    train_spendthrift_model,
+)
+from repro.policies.watchdog import WatchdogPolicy
+
+
+class FakeArch:
+    def __init__(self, backup_cost=500.0, worst_step=100.0):
+        self._cost = backup_cost
+        self._worst = worst_step
+
+    def estimate_backup_cost(self):
+        return self._cost
+
+    def worst_step_cost(self):
+        return self._worst
+
+
+class FakeCapacitor:
+    def __init__(self, energy, capacity=10_000.0):
+        self.energy = energy
+        self.capacity = capacity
+
+    @property
+    def fraction(self):
+        return self.energy / self.capacity
+
+
+class FakePlatform:
+    def __init__(self, energy, backup_cost=500.0):
+        self.capacitor = FakeCapacitor(energy)
+        self.arch = FakeArch(backup_cost)
+
+
+def test_registry_contents():
+    assert set(POLICIES) == {"jit", "watchdog", "spendthrift", "task", "never"}
+    with pytest.raises(ValueError):
+        make_policy("nonexistent")
+
+
+def test_never_policy_never_backs_up():
+    policy = NeverPolicy()
+    platform = FakePlatform(energy=1.0)
+    assert policy.after_step(platform, 1) == PolicyAction.NONE
+
+
+# ----------------------------------------------------------------- JIT
+def test_jit_waits_while_plenty_of_energy():
+    policy = JitPolicy()
+    platform = FakePlatform(energy=5000.0)
+    assert policy.after_step(platform, 1) == PolicyAction.NONE
+
+
+def test_jit_shuts_down_at_threshold():
+    policy = JitPolicy()
+    platform = FakePlatform(energy=599.0)  # cost 500 + worst 100 = 600
+    assert policy.after_step(platform, 1) == PolicyAction.SHUTDOWN
+
+
+def test_jit_threshold_tracks_backup_cost():
+    policy = JitPolicy()
+    platform = FakePlatform(energy=900.0, backup_cost=850.0)
+    assert policy.after_step(platform, 1) == PolicyAction.SHUTDOWN
+    platform2 = FakePlatform(energy=900.0, backup_cost=100.0)
+    assert policy.after_step(platform2, 1) == PolicyAction.NONE
+
+
+# ------------------------------------------------------------ watchdog
+def test_watchdog_fires_every_period():
+    policy = WatchdogPolicy(period=100)
+    platform = FakePlatform(energy=1e9)
+    fired = 0
+    for _ in range(35):
+        if policy.after_step(platform, 10) == PolicyAction.BACKUP:
+            fired += 1
+            policy.on_backup(platform)
+    assert fired == 3  # 350 cycles / ~100-cycle period
+
+
+def test_watchdog_resets_on_any_backup():
+    policy = WatchdogPolicy(period=100)
+    platform = FakePlatform(energy=1e9)
+    policy.after_step(platform, 90)
+    policy.on_backup(platform)  # e.g. a structural backup
+    assert policy.after_step(platform, 90) == PolicyAction.NONE
+    assert policy.after_step(platform, 20) == PolicyAction.BACKUP
+
+
+def test_watchdog_period_validation():
+    with pytest.raises(ValueError):
+        WatchdogPolicy(period=0)
+
+
+def test_watchdog_resets_each_period():
+    policy = WatchdogPolicy(period=100)
+    platform = FakePlatform(energy=1e9)
+    policy.after_step(platform, 90)
+    policy.on_period_start(platform, None)
+    assert policy.after_step(platform, 50) == PolicyAction.NONE
+
+
+# --------------------------------------------------------- spendthrift
+def test_spendthrift_training_accuracy():
+    """The paper reports ~97% accuracy for the trained model."""
+    _, accuracy = train_spendthrift_model(seed=42, epochs=250, samples=4000)
+    assert accuracy >= 0.93
+
+
+def test_spendthrift_model_separates_clear_cases():
+    model, _ = train_spendthrift_model()
+    must_backup = np.array([0.05, 0.3, 0.5])
+    keep_going = np.array([0.9, 0.1, 0.5])
+    assert model.predict(must_backup)
+    assert not model.predict(keep_going)
+
+
+def test_spendthrift_checks_at_interval():
+    policy = SpendthriftPolicy(check_interval=100)
+    policy.reset(FakePlatform(energy=9000.0))
+    platform = FakePlatform(energy=9000.0)
+    # Below the interval: no decision is even attempted.
+    assert policy.after_step(platform, 50) == PolicyAction.NONE
+    action = policy.after_step(platform, 60)  # crosses 100 cycles
+    assert action in (PolicyAction.NONE, PolicyAction.SHUTDOWN)
+
+
+def test_spendthrift_shuts_down_when_nearly_empty():
+    policy = SpendthriftPolicy(check_interval=1)
+    policy.reset(FakePlatform(energy=100.0))
+    platform = FakePlatform(energy=100.0, backup_cost=50.0)
+    decisions = [policy.after_step(platform, 1) for _ in range(20)]
+    assert PolicyAction.SHUTDOWN in decisions
+
+
+def test_spendthrift_keeps_going_when_full():
+    policy = SpendthriftPolicy(check_interval=1)
+    policy.reset(FakePlatform(energy=10_000.0))
+    platform = FakePlatform(energy=10_000.0, backup_cost=50.0)
+    decisions = [policy.after_step(platform, 1) for _ in range(20)]
+    assert PolicyAction.SHUTDOWN not in decisions
+
+
+def test_label_margin_documented_positive():
+    assert LABEL_MARGIN > 0
+
+
+# --------------------------------------------------------------- task
+def test_task_policy_registered():
+    policy = make_policy("task")
+    assert policy.name == "task"
+
+
+def test_task_policy_validation():
+    from repro.policies.task import TaskBoundaryPolicy
+
+    with pytest.raises(ValueError):
+        TaskBoundaryPolicy(min_task_cycles=0)
+    with pytest.raises(ValueError):
+        TaskBoundaryPolicy(min_task_cycles=100, max_task_cycles=50)
+
+
+def test_task_policy_backs_up_at_call_boundaries():
+    from repro.workloads import run_workload
+
+    task = run_workload("qsort", arch="nvmr", policy="task", trace_seed=0)
+    jit = run_workload("qsort", arch="nvmr", policy="jit", trace_seed=0)
+    # The paper's critique of task systems: far more backups than the
+    # energy supply requires, and correspondingly more energy.
+    assert task.backups > 3 * jit.backups
+    assert task.total_energy > jit.total_energy
+
+
+def test_task_policy_forced_split_prevents_livelock():
+    """A call-free long loop must still commit progress (forced task
+    splits), so even call-sparse code completes."""
+    from repro.workloads import run_workload
+
+    result = run_workload("hist", arch="nvmr", policy="task", trace_seed=0)
+    assert result.backups > 10

@@ -1,0 +1,154 @@
+"""Platform integration: run loop, lifecycle, results."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.energy.traces import HarvestTrace
+from repro.sim.platform import Platform, PlatformConfig, SimulationError
+
+COUNTING_PROGRAM = """
+.data
+counter: .word 0
+out: .space 40
+.text
+main:
+    la r0, counter
+    la r1, out
+    movw r2, #0          ; i
+loop:
+    cmp r2, #10
+    bge done
+    ldr r3, [r0, #0]     ; RMW on counter: read-dominated hazard
+    add r3, r3, r2
+    str r3, [r0, #0]
+    lsl r4, r2, #2
+    str r3, [r1, r4]
+    add r2, r2, #1
+    b loop
+done:
+    halt
+"""
+
+
+def make_platform(arch="clank", policy="jit", **kwargs):
+    program = assemble(COUNTING_PROGRAM)
+    config = PlatformConfig(arch=arch, policy=policy, **kwargs)
+    return Platform(program, config, trace=HarvestTrace(0), benchmark_name="count")
+
+
+@pytest.mark.parametrize("arch", ["ideal", "clank", "nvmr", "hoop"])
+@pytest.mark.parametrize("policy", ["jit", "watchdog", "spendthrift"])
+def test_runs_to_completion_all_combinations(arch, policy):
+    platform = make_platform(arch, policy)
+    result = platform.run()
+    out = platform.program.symbol("out")
+    expected_counter = sum(range(10))
+    assert platform.read_word(platform.program.symbol("counter")) == expected_counter
+    # out[i] holds the running sum after adding i
+    partial = 0
+    for i in range(10):
+        partial += i
+        assert platform.read_word(out + 4 * i) == partial
+    assert result.instructions > 0
+    assert result.backups >= 2  # at least initial + final
+
+
+def test_result_fields_populated():
+    result = make_platform().run()
+    assert result.benchmark == "count"
+    assert result.arch == "clank"
+    assert result.policy == "jit"
+    assert result.total_energy > 0
+    assert result.active_cycles > 0
+    assert result.active_periods >= 1
+    assert result.nvm_writes > 0
+    assert "initial" in result.backups_by_reason
+    assert "final" in result.backups_by_reason
+    assert 0.0 <= result.energy_fraction("forward") <= 1.0
+    assert "count" in result.summary()
+
+
+def test_max_steps_guard():
+    program = assemble("main: b main\n")  # infinite loop
+    config = PlatformConfig(arch="clank", policy="jit", max_steps=1000)
+    platform = Platform(program, config, trace=HarvestTrace(0))
+    with pytest.raises(SimulationError, match="instructions"):
+        platform.run()
+
+
+def test_max_periods_guard():
+    # A capacitor too small to afford even the initial backup loops
+    # through restore attempts until the period guard trips.
+    program = assemble(COUNTING_PROGRAM)
+    config = PlatformConfig(
+        arch="clank", policy="never", capacitor_energy=100.0, max_periods=50
+    )
+    platform = Platform(program, config, trace=HarvestTrace(0))
+    with pytest.raises(SimulationError, match="periods"):
+        platform.run()
+
+
+def test_final_energy_is_committed():
+    platform = make_platform()
+    result = platform.run()
+    # After the final backup everything is committed; no floating epoch.
+    assert platform.ledger.epoch_total() == 0.0
+    assert result.total_energy == pytest.approx(platform.ledger.committed.total)
+
+
+def test_jit_has_no_dead_energy():
+    platform = make_platform("clank", "jit", capacitor_energy=3000.0)
+    result = platform.run()
+    assert result.breakdown.dead == 0.0
+
+
+def test_watchdog_with_small_capacitor_has_failures_and_dead_energy():
+    program = assemble(COUNTING_PROGRAM * 1)  # short but periods are tiny
+    config = PlatformConfig(
+        arch="clank",
+        policy="watchdog",
+        watchdog_period=40,
+        capacitor_energy=2500.0,
+    )
+    platform = Platform(program, config, trace=HarvestTrace(1))
+    result = platform.run()
+    assert result.power_failures > 0
+    assert result.breakdown.dead > 0.0
+    assert result.restores == result.power_failures
+
+
+def test_unknown_arch_and_policy_rejected():
+    with pytest.raises(ValueError):
+        make_platform(arch="quantum").run()
+    with pytest.raises(ValueError):
+        make_platform(policy="vibes").run()
+
+
+def test_read_words_helper():
+    platform = make_platform()
+    platform.run()
+    out = platform.program.symbol("out")
+    words = platform.read_words(out, 3)
+    assert words == [platform.read_word(out + 4 * i) for i in range(3)]
+
+
+def test_config_arch_kwargs_shapes():
+    assert "gbf_bits" in PlatformConfig(arch="clank").arch_kwargs()
+    assert "mtc_entries" in PlatformConfig(arch="nvmr").arch_kwargs()
+    assert "oop_buffer_entries" in PlatformConfig(arch="hoop").arch_kwargs()
+    assert "mtc_entries" not in PlatformConfig(arch="clank").arch_kwargs()
+
+
+def test_watchdog_period_override_flows_to_policy():
+    config = PlatformConfig(policy="watchdog", watchdog_period=1234)
+    policy = config.make_policy()
+    assert policy.period == 1234
+
+
+def test_nvm_technology_selection():
+    fram = make_platform("clank", "jit", nvm_technology="fram")
+    assert fram.energy.nvm_write_word < 1.0
+    result = fram.run()
+    assert result.total_energy > 0
+    with pytest.raises(ValueError, match="NVM technology"):
+        make_platform("clank", "jit", nvm_technology="mram")

@@ -1,0 +1,48 @@
+"""Continuous-power reference runner and flat memory."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.sim.reference import FlatMemory, run_reference
+
+
+def test_flat_memory_word_and_byte():
+    mem = FlatMemory(0x1000)
+    mem.store(0x100, 0xAABBCCDD, 4)
+    assert mem.load(0x100, 4) == (0xAABBCCDD, 0)
+    assert mem.load(0x101, 1) == (0xCC, 0)
+    mem.store(0x102, 0x11, 1)
+    assert mem.load(0x100, 4) == (0xAA11CCDD, 0)
+
+
+def test_flat_memory_bounds():
+    mem = FlatMemory(0x100)
+    with pytest.raises(ValueError):
+        mem.load(0x100, 4)
+    with pytest.raises(ValueError):
+        mem.store(-1, 0, 4)
+
+
+def test_flat_memory_image_and_peeks():
+    mem = FlatMemory(0x1000)
+    mem.load_image(0x10, b"\x01\x02\x03\x04")
+    assert mem.peek_word(0x10) == 0x04030201
+    assert mem.peek_bytes(0x10, 4) == b"\x01\x02\x03\x04"
+
+
+def test_run_reference_produces_final_memory():
+    prog = assemble(
+        ".data\nx: .word 5\n.text\nmain:\n"
+        "la r0, x\nldr r1, [r0, #0]\nadd r1, r1, #10\nstr r1, [r0, #0]\nhalt\n"
+    )
+    result = run_reference(prog)
+    assert result.word_at(prog.symbol("x")) == 15
+    assert result.words_at(prog.symbol("x"), 1) == [15]
+    assert result.instructions == 6
+    assert result.cycles >= result.instructions
+
+
+def test_run_reference_timeout():
+    prog = assemble("main: b main\n")
+    with pytest.raises(RuntimeError, match="exceeded"):
+        run_reference(prog, max_steps=100)

@@ -1,0 +1,52 @@
+"""RunResult helpers and the top-level package API."""
+
+import pytest
+
+from repro.energy.accounting import EnergyBreakdown
+from repro.sim.results import RunResult, percent_energy_saved
+
+
+def make_result(total_forward, **kwargs):
+    return RunResult(
+        benchmark="x",
+        arch="clank",
+        policy="jit",
+        breakdown=EnergyBreakdown(forward=total_forward),
+        **kwargs,
+    )
+
+
+def test_percent_energy_saved():
+    baseline = make_result(100.0)
+    candidate = make_result(80.0)
+    assert percent_energy_saved(baseline, candidate) == pytest.approx(20.0)
+    assert percent_energy_saved(candidate, baseline) == pytest.approx(-25.0)
+
+
+def test_percent_energy_saved_zero_baseline():
+    assert percent_energy_saved(make_result(0.0), make_result(5.0)) == 0.0
+
+
+def test_energy_fraction_zero_total():
+    result = make_result(0.0)
+    assert result.energy_fraction("forward") == 0.0
+
+
+def test_summary_contains_key_counters():
+    result = make_result(1000.0, backups=3, violations=7, power_failures=2)
+    text = result.summary()
+    assert "backups=    3" in text
+    assert "violations=     7" in text
+
+
+def test_top_level_api():
+    import repro
+
+    assert repro.__version__
+    program = repro.compile_source(
+        "int out[1]; int main() { out[0] = 9; return 0; }"
+    )
+    reference = repro.run_reference(program)
+    assert reference.word_at(program.symbol("g_out")) == 9
+    result = repro.run_benchmark("qsort", arch="clank", policy="jit")
+    assert result.benchmark == "qsort"

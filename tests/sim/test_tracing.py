@@ -1,0 +1,84 @@
+"""Instruction tracing."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cpu.core import Core
+from repro.sim.reference import FlatMemory
+from repro.sim.tracing import InstructionTracer
+
+SOURCE = """
+main:
+    movw r0, #3
+loop:
+    sub r0, r0, #1
+    cmp r0, #0
+    bne loop
+    halt
+"""
+
+
+def run_traced(tracer, source=SOURCE):
+    program = assemble(source)
+    memory = FlatMemory(program.layout.flash_size)
+    core = Core(program, memory)
+    tracer.attach(core)
+    while not core.halted:
+        core.step()
+    return program, core
+
+
+def test_records_all_instructions():
+    tracer = InstructionTracer()
+    program, core = run_traced(tracer)
+    assert tracer.retired == core.instructions_retired
+    assert len(tracer.entries) == tracer.retired
+    assert tracer.cycles > tracer.retired  # taken branches cost extra
+
+
+def test_ring_buffer_capacity():
+    tracer = InstructionTracer(capacity=4)
+    run_traced(tracer)
+    assert len(tracer.entries) == 4
+    assert tracer.retired > 4  # counted even when dropped
+
+
+def test_watch_filters_pcs():
+    tracer = InstructionTracer(watch={4})  # the `sub` instruction
+    run_traced(tracer)
+    assert len(tracer.entries) == 3  # loop runs three times
+    assert all(pc == 4 for pc, _, _ in tracer.entries)
+    assert tracer.retired > 3
+
+
+def test_lines_include_disassembly_and_source():
+    tracer = InstructionTracer()
+    program, _ = run_traced(tracer)
+    lines = tracer.lines(source_map=program)
+    assert any("sub r0, r0, #1" in line for line in lines)
+    assert any("[line" in line for line in lines)
+
+
+def test_histogram_and_hottest():
+    tracer = InstructionTracer()
+    run_traced(tracer)
+    hottest = tracer.hottest(top=1)
+    assert hottest[0][1] == 3  # a loop-body pc executed three times
+
+
+def test_double_attach_rejected():
+    tracer = InstructionTracer()
+    program = assemble(SOURCE)
+    core = Core(program, FlatMemory(program.layout.flash_size))
+    tracer.attach(core)
+    with pytest.raises(RuntimeError):
+        tracer.attach(core)
+
+
+def test_context_manager_detaches():
+    program = assemble(SOURCE)
+    core = Core(program, FlatMemory(program.layout.flash_size))
+    with InstructionTracer().attach(core):
+        core.step()
+    assert core.on_retire is None
+    core.step()  # no hook fires; no error

@@ -1,0 +1,106 @@
+"""Cross-cutting integration properties of the whole stack."""
+
+import pytest
+
+from repro.isa.encoding import decode, encode
+from repro.policies.base import BackupPolicy, PolicyAction
+from repro.sim.platform import Platform, PlatformConfig
+from repro.energy.traces import HarvestTrace
+from repro.workloads import BENCHMARKS, load_program, run_workload
+
+
+def test_runs_are_deterministic():
+    """Same benchmark, config and trace seed => bit-identical results."""
+    first = run_workload("hist", arch="nvmr", policy="spendthrift", trace_seed=3)
+    second = run_workload("hist", arch="nvmr", policy="spendthrift", trace_seed=3)
+    assert first.total_energy == second.total_energy
+    assert first.breakdown.as_dict() == second.breakdown.as_dict()
+    assert first.backups == second.backups
+    assert first.active_periods == second.active_periods
+    assert first.nvm_writes == second.nvm_writes
+
+
+def test_different_traces_differ():
+    a = run_workload("hist", arch="clank", policy="watchdog", trace_seed=0)
+    b = run_workload("hist", arch="clank", policy="watchdog", trace_seed=1)
+    assert a.total_energy != b.total_energy
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_workload_programs_encode_and_decode(name):
+    """Every compiled benchmark survives a binary encode/decode round
+    trip — the programs are genuinely encodable machine code."""
+    program = load_program(name)
+    for instr in program.instructions:
+        assert decode(encode(instr)) == instr
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_workload_programs_fit_memory_map(name):
+    program = load_program(name)
+    layout = program.layout
+    assert layout.code_base + program.code_size <= layout.data_base
+    assert program.data_end <= layout.stack_top
+
+
+def test_custom_policy_instance_plugs_in():
+    """PlatformConfig accepts a BackupPolicy object, not just a name."""
+
+    class EveryN(BackupPolicy):
+        name = "every_n"
+
+        def __init__(self, n):
+            self.n = n
+            self._count = 0
+
+        def after_step(self, platform, cycles):
+            self._count += 1
+            if self._count % self.n == 0:
+                return PolicyAction.BACKUP
+            return PolicyAction.NONE
+
+    result = run_workload(
+        "qsort", config=PlatformConfig(arch="clank", policy=EveryN(2500))
+    )
+    assert result.policy == "every_n"
+    assert result.backups > 10
+
+
+def test_energy_breakdown_sums_to_total():
+    result = run_workload("dwt", arch="nvmr", policy="watchdog", trace_seed=2)
+    assert result.total_energy == pytest.approx(
+        sum(result.breakdown.as_dict().values())
+    )
+
+
+def test_total_energy_equals_capacitor_draws():
+    """Conservation: every nanojoule accounted once."""
+    program = load_program("hist")
+    config = PlatformConfig(arch="nvmr", policy="jit")
+    platform = Platform(program, config, trace=HarvestTrace(0), benchmark_name="hist")
+    result = platform.run()
+    # The ledger's committed total is the run's total; nothing pending.
+    assert platform.ledger.epoch_total() == 0.0
+    assert result.total_energy == platform.ledger.committed.total
+
+
+def test_instruction_counts_comparable_across_archs():
+    """All crash-consistent architectures retire work; under JIT (no
+    re-execution) the retire count equals the continuous run's."""
+    from repro.sim import run_reference
+
+    program = load_program("qsort")
+    reference = run_reference(program).instructions
+    for arch in ("clank", "nvmr", "hoop"):
+        result = run_workload("qsort", arch=arch, policy="jit", trace_seed=0)
+        assert result.instructions == reference
+
+
+def test_watchdog_reexecutes_more_instructions():
+    from repro.sim import run_reference
+
+    program = load_program("qsort")
+    reference = run_reference(program).instructions
+    result = run_workload("qsort", arch="clank", policy="watchdog", trace_seed=1)
+    if result.power_failures:
+        assert result.instructions > reference

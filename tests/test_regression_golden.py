@@ -1,0 +1,58 @@
+"""Golden regression lock on the calibrated evaluation.
+
+The simulator is fully deterministic (seeded traces, no wall-clock or
+OS entropy), so every benchmark's energy, backup and violation counts
+under (JIT, trace seed 0) are exact constants.  This test pins them to
+``golden_jit_trace0.json``: any change to the energy model, the
+architectures, the compiler, or the benchmarks shows up here *loudly*
+instead of silently drifting the recorded EXPERIMENTS.md numbers.
+
+If you change the model intentionally, regenerate the golden file (the
+recipe is in the JSON's sibling comment below) and re-derive
+EXPERIMENTS.md via ``python -m repro report``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import BENCHMARKS, run_workload
+
+GOLDEN_PATH = Path(__file__).parent / "golden_jit_trace0.json"
+
+# Regenerate with:
+#   python - <<'PY'
+#   import json
+#   from repro.workloads import run_workload, BENCHMARKS
+#   golden = {}
+#   for bench in sorted(BENCHMARKS):
+#       golden[bench] = {}
+#       for arch in ("clank", "nvmr"):
+#           r = run_workload(bench, arch=arch, policy="jit", trace_seed=0)
+#           golden[bench][arch] = {
+#               "total_energy_nj": round(r.total_energy, 3),
+#               "backups": r.backups, "violations": r.violations,
+#               "renames": r.renames, "instructions": r.instructions}
+#   json.dump(golden, open("tests/golden_jit_trace0.json", "w"),
+#             indent=2, sort_keys=True)
+#   PY
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("bench", sorted(BENCHMARKS))
+@pytest.mark.parametrize("arch", ["clank", "nvmr"])
+def test_golden_run(bench, arch, golden):
+    result = run_workload(bench, arch=arch, policy="jit", trace_seed=0)
+    expected = golden[bench][arch]
+    assert result.total_energy == pytest.approx(
+        expected["total_energy_nj"], rel=1e-6
+    ), "energy model drifted — regenerate the golden file if intentional"
+    assert result.backups == expected["backups"]
+    assert result.violations == expected["violations"]
+    assert result.renames == expected["renames"]
+    assert result.instructions == expected["instructions"]

@@ -1,0 +1,107 @@
+"""Three-way validation, legs 2+3: intermittent runs == reference.
+
+Every benchmark must complete correctly on every crash-consistent
+architecture.  The full (benchmark x arch) matrix runs under JIT; a
+representative subset also runs under watchdog (real power failures)
+and spendthrift.
+"""
+
+import pytest
+
+from repro.workloads import BENCHMARKS, OutputMismatch, run_workload
+
+ARCHS = ["clank", "nvmr", "hoop"]
+
+
+@pytest.mark.parametrize("arch", ARCHS)
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_jit_matrix(name, arch):
+    result = run_workload(name, arch=arch, policy="jit", trace_seed=0)
+    assert result.backups >= 2
+    assert result.shutdowns > 0 or result.active_periods == 1
+
+
+@pytest.mark.parametrize("arch", ARCHS)
+@pytest.mark.parametrize("name", ["qsort", "hist"])
+def test_watchdog_with_real_failures(name, arch):
+    result = run_workload(name, arch=arch, policy="watchdog", trace_seed=1)
+    assert result.power_failures > 0
+    assert result.breakdown.dead > 0
+
+
+@pytest.mark.parametrize("name", ["qsort", "stringsearch"])
+def test_spendthrift_subset(name):
+    result = run_workload(name, arch="nvmr", policy="spendthrift", trace_seed=2)
+    assert result.backups >= 2
+
+
+def test_nvmr_actually_renames_on_violation_heavy_benchmark():
+    result = run_workload("qsort", arch="nvmr", policy="jit", trace_seed=0)
+    assert result.renames > 50
+    assert result.violations >= result.renames
+
+
+def test_nvmr_fewer_backups_than_clank():
+    """The paper's core claim: renaming eliminates violation backups."""
+    clank = run_workload("qsort", arch="clank", policy="jit", trace_seed=0)
+    nvmr = run_workload("qsort", arch="nvmr", policy="jit", trace_seed=0)
+    assert nvmr.backups < clank.backups
+
+
+def test_nvmr_reduces_max_wear():
+    """Section 6.5: renaming spreads writes over the reserved region."""
+    clank = run_workload("qsort", arch="clank", policy="jit", trace_seed=0)
+    nvmr = run_workload("qsort", arch="nvmr", policy="jit", trace_seed=0)
+    assert nvmr.max_wear < clank.max_wear
+
+
+def test_ideal_counts_more_violations_than_clank_backups_reset():
+    """Clank's violation backups reset dominance tracking and hide later
+    violations; the ideal architecture counts them all (Table 3)."""
+    ideal = run_workload("qsort", arch="ideal", policy="jit", trace_seed=0)
+    clank = run_workload("qsort", arch="clank", policy="jit", trace_seed=0)
+    assert ideal.violations >= clank.violations
+
+
+def test_verification_actually_fires():
+    """Corrupt expectations must raise OutputMismatch (the verifier is
+    not a no-op)."""
+    from repro.workloads import registry
+
+    good = registry.reference_outputs("qsort")
+    corrupted = {sym: list(words) for sym, words in good.items()}
+    corrupted["g_result"][0] ^= 1
+    registry._reference_cache["qsort"] = corrupted
+    try:
+        with pytest.raises(OutputMismatch):
+            run_workload("qsort", arch="clank", policy="jit", trace_seed=0)
+    finally:
+        registry._reference_cache["qsort"] = good
+
+
+def test_register_custom_workload():
+    """Downstream users can add benchmarks with their own reference."""
+    from repro.workloads import register_workload, run_workload, unregister_workload
+
+    source = (
+        "int out[2]; int acc; int main() { int i;"
+        " for (i = 1; i <= 10; i++) acc += i * i;"
+        " out[0] = acc; out[1] = 10; return 0; }"
+    )
+    register_workload(
+        "sum_of_squares", source,
+        lambda: {"g_out": [sum(i * i for i in range(1, 11)), 10]},
+    )
+    try:
+        result = run_workload("sum_of_squares", arch="nvmr", policy="jit")
+        assert result.benchmark == "sum_of_squares"
+        with pytest.raises(ValueError, match="already registered"):
+            register_workload("sum_of_squares", source, lambda: {})
+        with pytest.raises(ValueError, match="already registered"):
+            register_workload("qsort", source, lambda: {})
+    finally:
+        unregister_workload("sum_of_squares")
+    with pytest.raises(ValueError, match="unknown benchmark"):
+        run_workload("sum_of_squares")
+    with pytest.raises(ValueError, match="not a user-registered"):
+        unregister_workload("qsort")
