@@ -34,6 +34,14 @@ from repro.sim import Platform, PlatformConfig, RunResult, run_reference
 
 __version__ = "1.0.0"
 
+#: Simulation-model version, part of the persistent run-cache key
+#: (:mod:`repro.analysis.runcache`).  Bump whenever a change alters the
+#: numbers a simulation produces — energy model constants, architecture
+#: behaviour, trace synthesis — so stale cached results from older
+#: checkouts can never leak into new experiments.  Pure-speed changes
+#: that keep results bit-identical do not need a bump.
+MODEL_VERSION = 1
+
 
 def compile_source(source, **kwargs):
     """Compile mini-C source text into an executable Program."""
@@ -56,6 +64,7 @@ def run_benchmark(name, arch="nvmr", policy="jit", trace_seed=0, **config_overri
 
 
 __all__ = [
+    "MODEL_VERSION",
     "Platform",
     "PlatformConfig",
     "RunResult",

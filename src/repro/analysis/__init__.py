@@ -12,6 +12,7 @@ from repro.analysis.experiments import (
     ablation_free_list_discipline,
     ablation_gbf_bits,
     cached_run,
+    clear_run_cache,
     extension_nvm_technology,
     extension_taxonomy,
     fig10_backup_schemes,
@@ -29,6 +30,7 @@ from repro.analysis.experiments import (
     table3_violations,
     table4_hoop_configuration,
 )
+from repro.analysis.progress import report_progress, set_progress_handler
 from repro.analysis.report import generate_report, write_report
 from repro.analysis.timeline import render_timeline
 from repro.analysis.wear import WearProfile, gini_coefficient, wear_comparison, wear_profile
@@ -45,6 +47,7 @@ __all__ = [
     "ablation_free_list_discipline",
     "ablation_gbf_bits",
     "cached_run",
+    "clear_run_cache",
     "extension_nvm_technology",
     "extension_taxonomy",
     "fig10_backup_schemes",
@@ -65,6 +68,8 @@ __all__ = [
     "render_timeline",
     "gini_coefficient",
     "overheads_study",
+    "report_progress",
+    "set_progress_handler",
     "table2_configuration",
     "table3_violations",
     "table4_hoop_configuration",

@@ -18,6 +18,7 @@ instance, is reused across Figures 10, 13 and 14.
 import os
 from dataclasses import dataclass, field, replace
 
+from repro.analysis import runcache
 from repro.energy.area import AreaModel
 from repro.energy.capacitor import CAPACITOR_PRESETS
 from repro.energy.traces import HarvestTrace
@@ -92,19 +93,35 @@ def _config_key(config):
 
 
 def cached_run(benchmark, config, trace_seed):
-    """Run (or fetch) one benchmark/config/trace combination."""
-    key = (benchmark, _config_key(config), trace_seed)
+    """Run (or fetch) one benchmark/config/trace combination.
+
+    Two cache layers: the process-wide dict above, then the persistent
+    disk cache (:mod:`repro.analysis.runcache`) keyed by program
+    content, full config, trace seed and model version — so rerunning
+    an experiment script with unchanged inputs performs zero fresh
+    simulations even across process restarts.
+    """
+    config_key = _config_key(config)
+    key = (benchmark, config_key, trace_seed)
     if key not in _run_cache:
-        _run_cache[key] = run_workload(
-            benchmark,
-            config=replace(config),
-            trace=HarvestTrace(trace_seed),
-        )
+        result = runcache.fetch(benchmark, config_key, trace_seed)
+        if result is None:
+            result = run_workload(
+                benchmark,
+                config=replace(config),
+                trace=HarvestTrace(trace_seed),
+            )
+            runcache.store(benchmark, config_key, trace_seed, result)
+        _run_cache[key] = result
     return _run_cache[key]
 
 
-def clear_run_cache():
+def clear_run_cache(disk=False):
+    """Drop the in-process run cache; ``disk=True`` also deletes the
+    persistent entries under :func:`repro.analysis.runcache.cache_dir`."""
     _run_cache.clear()
+    if disk:
+        runcache.clear_disk_cache()
 
 
 def _mean(values):

@@ -13,15 +13,27 @@ Usage::
     prefetch_runs(fig10_jobs(settings), workers=8)
     results = fig10_backup_schemes(settings)   # all cache hits
 
+Jobs already present in the persistent disk cache
+(:mod:`repro.analysis.runcache`) are loaded parent-side instead of
+being dispatched, and fresh results are written back to it, so a
+parallel prefetch seeds exactly the entries serial execution would.
+
+Futures are submitted in a bounded window and collected as they
+complete (no head-of-line blocking on one slow job); each completion
+fires :func:`repro.analysis.progress.report_progress` plus any
+``progress`` callback passed directly.
+
 Workers each pay a one-time benchmark-compilation cost (~10 s); jobs
 are deterministic, so parallel and serial results are identical.
 """
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import replace
 
 from repro.analysis import experiments as exp
+from repro.analysis import runcache
+from repro.analysis.progress import report_progress
 from repro.sim.platform import PlatformConfig
 
 
@@ -35,26 +47,88 @@ def _execute(job):
     return job, result
 
 
-def prefetch_runs(jobs, workers=None):
+def _label(job):
+    benchmark, config, seed = job
+    policy = config.policy if isinstance(config.policy, str) else "custom"
+    return f"{benchmark}/{config.arch}/{policy}/seed{seed}"
+
+
+def prefetch_runs(jobs, workers=None, progress=None):
     """Run ``jobs`` (iterable of (benchmark, config, seed)) in parallel
-    and seed the shared run cache.  Returns the number of fresh runs."""
+    and seed the shared run cache.  Returns the number of fresh
+    simulations actually executed (disk-cache hits don't count).
+
+    ``progress(done, total, label)`` — optional callback fired after
+    every completed job, in addition to the process-wide handler
+    installed via :func:`repro.analysis.progress.set_progress_handler`.
+    """
+    # Dedupe by cache key (job lists from several figures overlap) and
+    # drop anything the in-process cache already holds.
     pending = []
+    seen = set()
     for benchmark, config, seed in jobs:
         key = (benchmark, exp._config_key(config), seed)
-        if key not in exp._run_cache:
-            pending.append((benchmark, config, seed))
-    if not pending:
+        if key in exp._run_cache or key in seen:
+            continue
+        seen.add(key)
+        pending.append((key, (benchmark, config, seed)))
+    total = len(pending)
+
+    def _tick(done, job):
+        label = _label(job)
+        report_progress(done, total, label)
+        if progress is not None:
+            progress(done, total, label)
+
+    # Parent-side disk-cache pass: cached results are cheap to load and
+    # must not occupy worker slots.
+    done = 0
+    fresh_jobs = []
+    for key, job in pending:
+        benchmark, _config, seed = job
+        result = runcache.fetch(benchmark, key[1], seed)
+        if result is not None:
+            exp._run_cache[key] = result
+            done += 1
+            _tick(done, job)
+        else:
+            fresh_jobs.append((key, job))
+    if not fresh_jobs:
         return 0
+
+    def _finish(key, job, result):
+        nonlocal done
+        benchmark, _config, seed = job
+        exp._run_cache[key] = result
+        runcache.store(benchmark, key[1], seed, result)
+        done += 1
+        _tick(done, job)
+
     workers = workers or min(os.cpu_count() or 1, 8)
-    if workers <= 1 or len(pending) == 1:
-        for job in pending:
-            (benchmark, config, seed), result = _execute(job)
-            exp._run_cache[(benchmark, exp._config_key(config), seed)] = result
-        return len(pending)
+    if workers <= 1 or len(fresh_jobs) == 1:
+        for key, job in fresh_jobs:
+            _, result = _execute(job)
+            _finish(key, job, result)
+        return len(fresh_jobs)
+
+    # Bounded submission window, drained as futures complete: a slow
+    # job (picojpeg at paper scale) never blocks collection of the
+    # fast ones, and the queue never holds more than ~2 jobs per
+    # worker.
+    queue = list(reversed(fresh_jobs))
+    window = max(workers * 2, 2)
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        for (benchmark, config, seed), result in pool.map(_execute, pending):
-            exp._run_cache[(benchmark, exp._config_key(config), seed)] = result
-    return len(pending)
+        running = {}
+        while queue or running:
+            while queue and len(running) < window:
+                key, job = queue.pop()
+                running[pool.submit(_execute, job)] = (key, job)
+            completed, _ = wait(running, return_when=FIRST_COMPLETED)
+            for future in completed:
+                key, job = running.pop(future)
+                _, result = future.result()
+                _finish(key, job, result)
+    return len(fresh_jobs)
 
 
 # ------------------------------------------------------------ job sets

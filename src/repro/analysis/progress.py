@@ -18,6 +18,32 @@ from dataclasses import dataclass
 from repro.sim.reference import run_reference
 from repro.workloads import load_program
 
+# ------------------------------------------------- progress reporting
+#: Process-wide progress hook for long-running drivers (parallel
+#: prefetch, paper-scale sweeps).  ``None`` = silent.
+_progress_handler = None
+
+
+def set_progress_handler(handler):
+    """Install ``handler(done, total, label)`` as the progress hook.
+
+    Called by long-running machinery (e.g.
+    :func:`repro.analysis.parallel.prefetch_runs`) after each completed
+    unit of work.  Pass ``None`` to silence reporting.  Returns the
+    previously installed handler so callers can restore it.
+    """
+    global _progress_handler
+    previous = _progress_handler
+    _progress_handler = handler
+    return previous
+
+
+def report_progress(done, total, label=""):
+    """Invoke the installed progress handler, if any."""
+    if _progress_handler is not None:
+        _progress_handler(done, total, label)
+
+
 _reference_cycle_cache = {}
 
 

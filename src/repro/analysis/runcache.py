@@ -1,0 +1,206 @@
+"""Persistent on-disk run cache.
+
+The in-process run cache in :mod:`repro.analysis.experiments` already
+shares simulations between drivers, but it dies with the process: every
+benchmark script, notebook restart and CI job pays for the same
+(benchmark, config, trace) simulations again.  This module persists
+each :class:`~repro.sim.results.RunResult` as one small JSON file so
+reruns with unchanged inputs perform zero fresh simulations.
+
+Cache key
+---------
+A result is valid only while everything that could change it is
+unchanged, so the key digests four components:
+
+* the **program content** — SHA-256 of the benchmark's mini-C source
+  text (editing a workload invalidates only that workload's entries);
+* the **full configuration key** — the same
+  :func:`~repro.analysis.experiments._config_key` tuple the in-process
+  cache uses (every architectural and policy knob);
+* the **trace seed** — the synthetic harvest trace is derived
+  deterministically from it;
+* the **model version** — :data:`repro.MODEL_VERSION`, bumped whenever
+  simulator semantics change, which wholesale-invalidates stale caches
+  left by older checkouts.
+
+Entries are written atomically (temp file + ``os.replace``) so
+concurrent workers racing on the same key simply overwrite each other
+with identical bytes.
+
+Environment knobs
+-----------------
+``REPRO_CACHE_DIR``
+    Cache directory (default ``~/.cache/repro-nvmr``).
+``REPRO_RUN_CACHE=0``
+    Disable the disk cache entirely (simulations still use the
+    in-process cache).
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.energy.accounting import CATEGORIES, EnergyBreakdown
+from repro.sim.results import RunResult
+
+#: Bumped when the on-disk entry format itself changes.
+_FORMAT_VERSION = 1
+
+#: Primitive types allowed in a disk-cacheable config key.  A config
+#: whose key contains anything else (e.g. a policy *instance*) is not
+#: content-addressable and silently skips the disk layer.
+_PRIMITIVES = (str, int, float, bool, type(None))
+
+
+def enabled():
+    """Whether the disk cache is active (``REPRO_RUN_CACHE=0`` disables)."""
+    return os.environ.get("REPRO_RUN_CACHE", "1") not in ("0", "")
+
+
+def cache_dir():
+    """The cache directory as a :class:`~pathlib.Path` (not created)."""
+    override = os.environ.get("REPRO_CACHE_DIR", "")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-nvmr"
+
+
+def _model_version():
+    from repro import MODEL_VERSION
+
+    return MODEL_VERSION
+
+
+def _program_hash(benchmark):
+    """SHA-256 of the benchmark's source text, or None if unknown."""
+    from repro.workloads import workload_source
+
+    try:
+        source = workload_source(benchmark)
+    except ValueError:
+        return None
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+def entry_key(benchmark, config_key, trace_seed):
+    """The digest naming this run's cache file, or None if the run is
+    not disk-cacheable (unknown source, non-primitive config key)."""
+    if not all(isinstance(v, _PRIMITIVES) for v in config_key):
+        return None
+    program_hash = _program_hash(benchmark)
+    if program_hash is None:
+        return None
+    material = json.dumps(
+        {
+            "format": _FORMAT_VERSION,
+            "model_version": _model_version(),
+            "benchmark": benchmark,
+            "program": program_hash,
+            "config": list(config_key),
+            "trace_seed": trace_seed,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def _entry_path(key):
+    return cache_dir() / f"{key}.json"
+
+
+# ------------------------------------------------------- serialization
+def _result_to_dict(result):
+    return {
+        "benchmark": result.benchmark,
+        "arch": result.arch,
+        "policy": result.policy,
+        "breakdown": result.breakdown.as_dict(),
+        "instructions": result.instructions,
+        "active_cycles": result.active_cycles,
+        "off_cycles": result.off_cycles,
+        "active_periods": result.active_periods,
+        "power_failures": result.power_failures,
+        "shutdowns": result.shutdowns,
+        "backups": result.backups,
+        "backups_by_reason": result.backups_by_reason,
+        "restores": result.restores,
+        "violations": result.violations,
+        "renames": result.renames,
+        "reclaims": result.reclaims,
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
+        "nvm_reads": result.nvm_reads,
+        "nvm_writes": result.nvm_writes,
+        "max_wear": result.max_wear,
+    }
+
+
+def _result_from_dict(data):
+    breakdown = EnergyBreakdown()
+    for category in CATEGORIES:
+        setattr(breakdown, category, data["breakdown"][category])
+    fields = dict(data)
+    fields["breakdown"] = breakdown
+    return RunResult(**fields)
+
+
+# -------------------------------------------------------------- access
+def fetch(benchmark, config_key, trace_seed):
+    """Load a cached RunResult, or None on miss/disabled/corrupt."""
+    if not enabled():
+        return None
+    key = entry_key(benchmark, config_key, trace_seed)
+    if key is None:
+        return None
+    path = _entry_path(key)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    try:
+        return _result_from_dict(data["result"])
+    except (KeyError, TypeError):
+        return None  # stale/corrupt entry; treat as a miss
+
+
+def store(benchmark, config_key, trace_seed, result):
+    """Persist a RunResult; no-op if disabled or not disk-cacheable."""
+    if not enabled():
+        return
+    key = entry_key(benchmark, config_key, trace_seed)
+    if key is None:
+        return
+    directory = cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(
+        {"format": _FORMAT_VERSION, "result": _result_to_dict(result)},
+        sort_keys=True,
+    )
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp, _entry_path(key))
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def clear_disk_cache():
+    """Delete every entry in the cache directory; returns the count."""
+    removed = 0
+    directory = cache_dir()
+    if not directory.is_dir():
+        return 0
+    for path in directory.glob("*.json"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed

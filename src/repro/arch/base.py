@@ -12,8 +12,13 @@ from dataclasses import dataclass, field
 
 from repro.cpu.core import MemorySystem
 from repro.cpu.state import Checkpoint
-from repro.mem.bloom import GlobalBloomFilter, LocalBloomFilter
-from repro.mem.cache import WriteBackCache
+from repro.mem.bloom import GlobalBloomFilter, LocalBloomFilter, WordState
+from repro.mem.cache import _NATIVE_WORDS, WriteBackCache
+
+#: Local aliases for the hand-inlined hot paths below.
+_UNKNOWN = WordState.UNKNOWN
+_READ = WordState.READ
+_WRITE = WordState.WRITE
 
 
 class BackupReason:
@@ -64,6 +69,22 @@ class IntermittentArchitecture(MemorySystem):
         self.layout = layout
         self.core = None
         self.stats = ArchStats()
+        # Hot path: bind charge() straight to the ledger, skipping one
+        # call frame per energy event.  Subclasses that override
+        # charge() keep their override.
+        if type(self).charge is IntermittentArchitecture.charge:
+            self.charge = ledger.charge
+        # Direct entry points for the two hot categories: the per-access
+        # load/store paths charge through these, skipping the category
+        # dispatch (same ledger functions, same values).
+        self._charge_forward = ledger.charge_forward
+        self._charge_overhead = ledger.charge_forward_overhead
+        self._worst_step_cost = (
+            6 * energy.block_write(4)
+            + 4 * energy.block_read(4)
+            + 20 * energy.nvm_read_word
+            + 10.0
+        )
 
     def attach_core(self, core):
         self.core = core
@@ -86,14 +107,23 @@ class IntermittentArchitecture(MemorySystem):
 
         The JIT policy subtracts this from the remaining charge so that
         a backup is always affordable when triggered between steps.
+        Constant per run, so precomputed at construction (JIT reads it
+        on every threshold check).
         """
-        words = 4
-        return (
-            6 * self.energy.block_write(words)
-            + 4 * self.energy.block_read(words)
-            + 20 * self.energy.nvm_read_word
-            + 10.0
-        )
+        return self._worst_step_cost
+
+    def estimate_growth_per_step(self):
+        """Upper bound on how much :meth:`estimate_backup_cost` can rise
+        while one instruction executes.
+
+        ``None`` means no bound is known, which disables the JIT quantum
+        guard (the policy then re-estimates after every step, as the
+        reference loop does).  The bound must hold for backup-free
+        steps; a backup mid-step only *lowers* the estimate (it cleans
+        every dirty structure), so the guard's growing floor stays an
+        upper bound on the true threshold across backups too.
+        """
+        return None
 
     def on_power_failure(self):  # pragma: no cover - interface
         """Wipe volatile state (cache, filters, SRAM tables)."""
@@ -149,6 +179,22 @@ class CachedArchitecture(IntermittentArchitecture):
         self.cache = WriteBackCache(cache_size, cache_assoc, block_size)
         self.gbf = GlobalBloomFilter(gbf_bits)
         self.words_per_block = self.cache.words_per_block
+        self._block_mask = block_size - 1
+        # Every access charges the cache probe plus the LBF update; the
+        # sum is constant, so it is drawn as one fused charge.
+        self._access_energy = energy.cache_access + energy.bloom_access
+        # Set-selection geometry, packed into one tuple so the inlined
+        # load/store paths pay a single attribute read.  ``_sets`` is
+        # never rebound by the cache (clear() invalidates in place), and
+        # ``block_size`` is a power of two (the ``_block_mask`` paths
+        # already rely on that); ``num_sets`` may not be, in which case
+        # the mask slot is None and accesses fall back to div/mod.
+        num_sets = self.cache.num_sets
+        self._set_geom = (
+            self.cache._sets,
+            block_size.bit_length() - 1,
+            num_sets - 1 if num_sets & (num_sets - 1) == 0 else None,
+        )
 
     # ------------------------------------------------------ leak energy
     def leakage_per_cycle(self):
@@ -173,14 +219,14 @@ class CachedArchitecture(IntermittentArchitecture):
                 # Log dominance of the outgoing block so a refetch within
                 # this section remembers it (GBF).
                 composite = victim.meta.composite if victim.meta else 0
-                self.charge("forward", self.energy.bloom_access)
+                self._charge_forward(self.energy.bloom_access)
                 self.gbf.log_eviction(victim.block_addr, composite)
         line, evicted = self.cache.allocate(block_addr)
         assert evicted is None or not evicted.dirty, "victim must be clean"
         data = self._fetch_block(block_addr)
         line.data[:] = data
         lbf = LocalBloomFilter(self.words_per_block)
-        self.charge("forward", self.energy.bloom_access)
+        self._charge_forward(self.energy.bloom_access)
         if self.gbf.was_read_dominated(block_addr):
             # Conservative: the block was read-dominated when evicted
             # earlier in this section.
@@ -189,39 +235,125 @@ class CachedArchitecture(IntermittentArchitecture):
         return line
 
     # ------------------------------------------------------- load/store
+    # The load/store bodies hand-inline their callees (the fused access
+    # charge, WriteBackCache.lookup, LocalBloomFilter.on_read/on_write
+    # and the word I/O) — these two methods execute for roughly half of
+    # all simulated instructions, and each avoided call frame is
+    # measurable.  Every inlined step performs the identical state
+    # transition to the method it replaces; the miss and byte paths
+    # still go through the normal calls.
     def load(self, addr, size):
         self.stats.loads += 1
         cache = self.cache
-        block_addr = cache.block_address(addr)
-        self.charge("forward", self.energy.cache_access)
-        line = cache.lookup(block_addr)
-        cycles = 1
-        if line is None:
-            line = self._miss(block_addr)
-            cycles += self.miss_cycles()
-        line.meta.on_read(cache.word_index(addr))
-        self.charge("forward", self.energy.bloom_access)
+        mask = self._block_mask
+        block_addr = addr & ~mask
+        amount = self._access_energy
+        ledger = self.ledger
+        capacitor = ledger.capacitor
+        energy = capacitor.energy
+        if ledger._fwd_touched and energy >= amount:
+            capacitor.energy = energy - amount
+            ledger._fwd_pending += amount
+        else:
+            self._charge_forward(amount)
+        sets, shift, smask = self._set_geom
+        if smask is None:
+            lines = cache._set_for(block_addr)
+        else:
+            lines = sets[(block_addr >> shift) & smask]
+        i = 0
+        for line in lines:
+            if line.valid and line.block_addr == block_addr:
+                if i:
+                    lines.insert(0, lines.pop(i))
+                cache.hits += 1
+                break
+            i += 1
+        else:
+            cache.misses += 1
+            return self._load_miss(block_addr, addr, size)
+        word = (addr & mask) >> 2
+        states = line.meta.states
+        if states[word] == _UNKNOWN:
+            states[word] = _READ
         if size == 4:
-            return cache.read_word(line, addr), cycles
-        return cache.read_byte(line, addr), cycles
+            if _NATIVE_WORDS:
+                return line.words[word], 1
+            return cache.read_word(line, addr), 1
+        return cache.read_byte(line, addr), 1
 
     def store(self, addr, value, size):
         self.stats.stores += 1
         cache = self.cache
-        block_addr = cache.block_address(addr)
-        self.charge("forward", self.energy.cache_access)
-        line = cache.lookup(block_addr)
-        cycles = 1
-        if line is None:
-            line = self._miss(block_addr)
-            cycles += self.miss_cycles()
-        line.meta.on_write(cache.word_index(addr))
-        self.charge("forward", self.energy.bloom_access)
+        mask = self._block_mask
+        block_addr = addr & ~mask
+        amount = self._access_energy
+        ledger = self.ledger
+        capacitor = ledger.capacitor
+        energy = capacitor.energy
+        if ledger._fwd_touched and energy >= amount:
+            capacitor.energy = energy - amount
+            ledger._fwd_pending += amount
+        else:
+            self._charge_forward(amount)
+        sets, shift, smask = self._set_geom
+        if smask is None:
+            lines = cache._set_for(block_addr)
+        else:
+            lines = sets[(block_addr >> shift) & smask]
+        i = 0
+        for line in lines:
+            if line.valid and line.block_addr == block_addr:
+                if i:
+                    lines.insert(0, lines.pop(i))
+                cache.hits += 1
+                break
+            i += 1
+        else:
+            cache.misses += 1
+            return self._store_miss(block_addr, addr, value, size)
+        word = (addr & mask) >> 2
+        states = line.meta.states
+        if states[word] == _UNKNOWN:
+            states[word] = _WRITE
         if size == 4:
-            cache.write_word(line, addr, value)
+            if _NATIVE_WORDS:
+                line.words[word] = value & 0xFFFFFFFF
+                line.dirty = True
+            else:
+                cache.write_word(line, addr, value)
         else:
             cache.write_byte(line, addr, value)
-        return cycles
+        return 1
+
+    def _load_miss(self, block_addr, addr, size):
+        """Miss continuation of :meth:`load` (after stats/charge/probe).
+
+        Shared by the inlined method above and the pre-decoded memory
+        closures (:mod:`repro.cpu.fastcore`), which perform the same
+        stats/charge/probe sequence before landing here.
+        """
+        line = self._miss(block_addr)
+        word = (addr & self._block_mask) >> 2
+        states = line.meta.states
+        if states[word] == _UNKNOWN:
+            states[word] = _READ
+        if size == 4:
+            return self.cache.read_word(line, addr), 1 + self.miss_cycles()
+        return self.cache.read_byte(line, addr), 1 + self.miss_cycles()
+
+    def _store_miss(self, block_addr, addr, value, size):
+        """Miss continuation of :meth:`store` — see :meth:`_load_miss`."""
+        line = self._miss(block_addr)
+        word = (addr & self._block_mask) >> 2
+        states = line.meta.states
+        if states[word] == _UNKNOWN:
+            states[word] = _WRITE
+        if size == 4:
+            self.cache.write_word(line, addr, value)
+        else:
+            self.cache.write_byte(line, addr, value)
+        return 1 + self.miss_cycles()
 
     def miss_cycles(self):
         """Latency of an NVM block fill (flash read, word-serial)."""

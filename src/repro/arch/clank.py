@@ -35,12 +35,12 @@ class ClankArchitecture(CachedArchitecture):
             self.stats.violations += 1
             self.backup(BackupReason.VIOLATION)
             return  # line is now clean
-        self.charge("forward", self.energy.block_write(self.words_per_block))
+        self._charge_forward(self.energy.block_write(self.words_per_block))
         self.nvm.write_block(line.block_addr, line.data)
         line.dirty = False
 
     def _fetch_block(self, block_addr):
-        self.charge("forward", self.energy.block_read(self.words_per_block))
+        self._charge_forward(self.energy.block_read(self.words_per_block))
         return self.nvm.read_block(block_addr, self.cache.block_size)
 
     # --------------------------------------------------------- backup
@@ -51,6 +51,12 @@ class ClankArchitecture(CachedArchitecture):
             + Checkpoint.WORDS * self.energy.nvm_write_word
             + self.energy.backup_commit
         )
+
+    def estimate_growth_per_step(self):
+        # The estimate only depends on the dirty-line count, and a single
+        # instruction performs at most one store, dirtying at most one
+        # clean line (evictions only ever shrink the count).
+        return self.energy.block_write(self.words_per_block)
 
     def backup(self, reason):
         """Atomically persist registers + all dirty blocks (double-buffered).

@@ -134,6 +134,12 @@ class OriginalClankArchitecture(IntermittentArchitecture):
             + self.energy.backup_commit
         )
 
+    def estimate_growth_per_step(self):
+        # The estimate only depends on the write-buffer occupancy, and a
+        # single instruction performs at most one store, adding at most
+        # one buffered word (drains only shrink the buffer).
+        return self.energy.nvm_write_word
+
     def backup(self, reason):
         cost = self.estimate_backup_cost()
         self.charge("backup", cost)

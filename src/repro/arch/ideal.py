@@ -44,6 +44,10 @@ class IdealArchitecture(CachedArchitecture):
             + self.energy.backup_commit
         )
 
+    def estimate_growth_per_step(self):
+        # Same argument as Clank: one store dirties at most one line.
+        return self.energy.block_write(self.words_per_block)
+
     def backup(self, reason):
         dirty = self.cache.dirty_lines()
         # Count violations that a backup flush would otherwise hide:

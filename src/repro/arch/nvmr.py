@@ -76,6 +76,14 @@ class NvmrArchitecture(CachedArchitecture):
         # map table cache entry only if there is at least one empty
         # entry in the map table").
         self._pending_new = 0
+        # Incremental dirty-MTC accounting so estimate_backup_cost()
+        # avoids scanning the whole MTC: how many entries are dirty, and
+        # how many of those have a reserved-region committed mapping
+        # (their old mapping returns to the free list at backup, costing
+        # one extra slot write).  backup() asserts these against the
+        # full plan.
+        self._mtc_dirty_count = 0
+        self._mtc_dirty_reserved = 0
 
     def _is_reserved(self, addr):
         return addr >= self.layout.reserved_base
@@ -89,19 +97,19 @@ class NvmrArchitecture(CachedArchitecture):
     # ------------------------------------------------------ miss path
     def _fetch_block(self, block_addr):
         """Fetch from the block's latest mapping (Figure 8's store miss)."""
-        self.charge("forward_overhead", self.energy.mtc_access)
+        self._charge_overhead(self.energy.mtc_access)
         entry = self.mtc.lookup(block_addr)
         if entry is not None:
             source = entry.new
         else:
-            self.charge(
-                "forward_overhead", self.MAP_ENTRY_WORDS * self.energy.nvm_read_word
+            self._charge_overhead(
+                self.MAP_ENTRY_WORDS * self.energy.nvm_read_word
             )
             mapping = self.map_table.lookup(block_addr)
             if mapping is not None:
                 self._install_clean_entry(block_addr, mapping)
             source = mapping if mapping is not None else block_addr
-        self.charge("forward", self.energy.block_read(self.words_per_block))
+        self._charge_forward(self.energy.block_read(self.words_per_block))
         return self.nvm.read_block(source, self.cache.block_size)
 
     def _install_clean_entry(self, tag, mapping):
@@ -110,7 +118,7 @@ class NvmrArchitecture(CachedArchitecture):
         victim = self.mtc.victim_for(tag)
         if victim is not None and victim.dirty:
             self.backup(BackupReason.STRUCTURAL)
-        self.charge("forward_overhead", self.energy.mtc_access)
+        self._charge_overhead(self.energy.mtc_access)
         self.mtc.insert(MapTableEntry(tag, mapping, mapping, dirty=False))
 
     # ------------------------------------------------------- evictions
@@ -126,13 +134,13 @@ class NvmrArchitecture(CachedArchitecture):
         """Write-dominated dirty eviction: persist in place at the
         block's latest mapping — safe without renaming (Section 3.5)."""
         tag = line.block_addr
-        self.charge("forward_overhead", self.energy.mtc_access)
+        self._charge_overhead(self.energy.mtc_access)
         entry = self.mtc.lookup(tag)
         if entry is not None:
             dest = entry.new
         else:
-            self.charge(
-                "forward_overhead", self.MAP_ENTRY_WORDS * self.energy.nvm_read_word
+            self._charge_overhead(
+                self.MAP_ENTRY_WORDS * self.energy.nvm_read_word
             )
             mapping = self.map_table.lookup(tag)
             if mapping is not None:
@@ -140,7 +148,7 @@ class NvmrArchitecture(CachedArchitecture):
                 if not line.dirty:
                     return  # the install's backup already persisted us
             dest = mapping if mapping is not None else tag
-        self.charge("forward", self.energy.block_write(self.words_per_block))
+        self._charge_forward(self.energy.block_write(self.words_per_block))
         self.nvm.write_block(dest, line.data)
         line.dirty = False
 
@@ -154,13 +162,13 @@ class NvmrArchitecture(CachedArchitecture):
         the checkpoint.
         """
         tag = line.block_addr
-        self.charge("forward_overhead", self.energy.mtc_access)
+        self._charge_overhead(self.energy.mtc_access)
         entry = self.mtc.lookup(tag)
 
         if entry is not None and entry.dirty:
             # Renamed earlier in this section; the uncommitted mapping
             # is not covered by any checkpoint, so rewriting it is safe.
-            self.charge("forward", self.energy.block_write(self.words_per_block))
+            self._charge_forward(self.energy.block_write(self.words_per_block))
             self.nvm.write_block(entry.new, line.data)
             line.dirty = False
             return
@@ -171,19 +179,22 @@ class NvmrArchitecture(CachedArchitecture):
             if self.free_list.is_empty:
                 self.backup(BackupReason.STRUCTURAL)
                 return
-            self.charge("forward_overhead", self.energy.nvm_read_word)  # list slot
+            self._charge_overhead(self.energy.nvm_read_word)  # list slot
             new = self.free_list.pop()
             entry.new = new
             entry.dirty = True
+            self._mtc_dirty_count += 1
+            if self._is_reserved(entry.old):
+                self._mtc_dirty_reserved += 1
             self.stats.renames += 1
-            self.charge("forward", self.energy.block_write(self.words_per_block))
+            self._charge_forward(self.energy.block_write(self.words_per_block))
             self.nvm.write_block(new, line.data)
             line.dirty = False
             return
 
         # MTC miss: probe the committed map table.
-        self.charge(
-            "forward_overhead", self.MAP_ENTRY_WORDS * self.energy.nvm_read_word
+        self._charge_overhead(
+            self.MAP_ENTRY_WORDS * self.energy.nvm_read_word
         )
         mapping = self.map_table.lookup(tag)
         if mapping is None and (
@@ -202,15 +213,18 @@ class NvmrArchitecture(CachedArchitecture):
             # this line, resolving the violation.
             self.backup(BackupReason.STRUCTURAL)
             return
-        self.charge("forward_overhead", self.energy.nvm_read_word)  # list slot
+        self._charge_overhead(self.energy.nvm_read_word)  # list slot
         new = self.free_list.pop()
         old = mapping if mapping is not None else tag
-        self.charge("forward_overhead", self.energy.mtc_access)
+        self._charge_overhead(self.energy.mtc_access)
         self.mtc.insert(MapTableEntry(tag, old, new, dirty=True))
+        self._mtc_dirty_count += 1
+        if self._is_reserved(old):
+            self._mtc_dirty_reserved += 1
         if mapping is None:
             self._pending_new += 1
         self.stats.renames += 1
-        self.charge("forward", self.energy.block_write(self.words_per_block))
+        self._charge_forward(self.energy.block_write(self.words_per_block))
         self.nvm.write_block(new, line.data)
         line.dirty = False
 
@@ -291,11 +305,66 @@ class NvmrArchitecture(CachedArchitecture):
         return self.map_table.peek(tag)
 
     def estimate_backup_cost(self):
-        _, _, data_cost, overhead = self._backup_plan(promote=False)
-        return data_cost + overhead
+        """Exact backup cost, in O(dirty lines) instead of O(MTC).
+
+        Mathematically equal to pricing ``_backup_plan(promote=False)``:
+        the per-dirty-MTC-entry terms are exactly-representable word
+        multiples, so the incremental counters replace the full MTC scan
+        (this is the JIT policy's per-check cost, the simulator's
+        hottest non-core work).  :meth:`backup` still prices from the
+        full plan and asserts the counters agree.
+        """
+        energy = self.energy
+        mtc_access = energy.mtc_access
+        probe = self.MAP_ENTRY_WORDS * energy.nvm_read_word
+        mtc_peek = self.mtc.peek
+        overhead = self.FREE_PTR_WORDS * energy.nvm_write_word
+        dirty = 0
+        for line in self.cache.dirty_lines():
+            dirty += 1
+            overhead += mtc_access
+            if mtc_peek(line.block_addr) is None:
+                overhead += probe
+        overhead += (
+            self._mtc_dirty_count * (self.MAP_COMMIT_WORDS * energy.nvm_write_word)
+            + self._mtc_dirty_reserved * energy.nvm_write_word
+        )
+        return (
+            dirty * energy.block_write(self.words_per_block)
+            + Checkpoint.WORDS * energy.nvm_write_word
+            + energy.backup_commit
+            + overhead
+        )
+
+    def estimate_growth_per_step(self):
+        """Per-step growth bound for the backup-cost estimate.
+
+        A backup-free instruction can raise the estimate through:
+
+        * one newly dirty cache line (one store per instruction): its
+          block write, its per-line MTC probe, and — if its tag misses
+          the MTC — a map-table probe;
+        * one newly dirty MTC entry (one rename per eviction, one
+          eviction per miss): its commit write plus a free-list push
+          slot when the old mapping is reserved;
+        * up to two MTC inserts (rename + clean install on the fetch
+          path), each of which can evict a clean entry covering some
+          other dirty line, turning that line's probe into a map-table
+          probe.
+
+        Three MAP_ENTRY_WORDS reads cover the map-probe terms.
+        """
+        energy = self.energy
+        return (
+            energy.block_write(self.words_per_block)
+            + energy.mtc_access
+            + 3 * self.MAP_ENTRY_WORDS * energy.nvm_read_word
+            + (self.MAP_COMMIT_WORDS + 1) * energy.nvm_write_word
+        )
 
     def backup(self, reason):
         destinations, dirty_entries, data_cost, overhead = self._backup_plan()
+        assert len(dirty_entries) == self._mtc_dirty_count, "dirty-MTC count drift"
         # Charge everything before mutating NVM: an unaffordable backup
         # raises PowerFailure with the previous checkpoint intact.
         self.charge("backup", data_cost)
@@ -309,6 +378,8 @@ class NvmrArchitecture(CachedArchitecture):
                 self.free_list.push(entry.old)
         self.mtc.clean_after_backup()
         self._pending_new = 0
+        self._mtc_dirty_count = 0
+        self._mtc_dirty_reserved = 0
         self.free_list.commit()
         self.nvm.commit_checkpoint(self.snapshot_payload())
         self._reset_section_tracking()
@@ -321,6 +392,8 @@ class NvmrArchitecture(CachedArchitecture):
         self.mtc.clear()
         self.free_list.restore()
         self._pending_new = 0
+        self._mtc_dirty_count = 0
+        self._mtc_dirty_reserved = 0
 
     def restore(self):
         super().restore()

@@ -11,6 +11,14 @@ what intermittent backups snapshot (:class:`~repro.cpu.state.Checkpoint`).
 """
 
 from repro.cpu.core import Core, MemorySystem
+from repro.cpu.fastcore import FastCore
 from repro.cpu.state import Checkpoint, Flags, RegisterFile
 
-__all__ = ["Checkpoint", "Core", "Flags", "MemorySystem", "RegisterFile"]
+__all__ = [
+    "Checkpoint",
+    "Core",
+    "FastCore",
+    "Flags",
+    "MemorySystem",
+    "RegisterFile",
+]

@@ -47,6 +47,17 @@ class Core:
     :meth:`repro.cpu.state.RegisterFile.restore`.
     """
 
+    __slots__ = (
+        "program",
+        "memory",
+        "rf",
+        "halted",
+        "instructions_retired",
+        "on_retire",
+        "_code",
+        "_code_base",
+    )
+
     def __init__(self, program, memory):
         self.program = program
         self.memory = memory

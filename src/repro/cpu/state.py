@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from repro.isa.registers import NUM_REGS
 
 
-@dataclass
+@dataclass(slots=True)
 class Flags:
     """The NZCV condition flags, set by compare instructions."""
 
@@ -41,7 +41,13 @@ class Checkpoint:
 
 
 class RegisterFile:
-    """The 16 general-purpose registers plus PC and flags."""
+    """The 16 general-purpose registers plus PC and flags.
+
+    ``regs`` and ``flags`` keep their object identity across
+    :meth:`restore` and :meth:`reset` — the pre-decoded fast path
+    (:class:`repro.cpu.fastcore.FastCore`) binds them into per-
+    instruction closures once at program load.
+    """
 
     __slots__ = ("regs", "pc", "flags")
 
@@ -56,12 +62,18 @@ class RegisterFile:
 
     def restore(self, checkpoint):
         """Rewind to ``checkpoint`` (what a post-power-loss restore does)."""
-        self.regs = list(checkpoint.registers)
+        self.regs[:] = checkpoint.registers
         self.pc = checkpoint.pc
-        self.flags = checkpoint.flags.copy()
+        flags = self.flags
+        source = checkpoint.flags
+        flags.n = source.n
+        flags.z = source.z
+        flags.c = source.c
+        flags.v = source.v
 
     def reset(self):
         """Power-on-reset state (all zeros)."""
-        self.regs = [0] * NUM_REGS
+        self.regs[:] = [0] * NUM_REGS
         self.pc = 0
-        self.flags = Flags()
+        flags = self.flags
+        flags.n = flags.z = flags.c = flags.v = False

@@ -32,7 +32,7 @@ CAPACITOR_PRESETS = {
 DEFAULT_CAPACITOR = "100mF"
 
 
-@dataclass
+@dataclass(slots=True)
 class Supercapacitor:
     """Tracks remaining usable energy during one active period.
 

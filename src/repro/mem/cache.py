@@ -11,21 +11,32 @@ architecture's job, so :meth:`WriteBackCache.allocate` hands the victim
 line back to the caller before reusing it.
 """
 
+import sys
+
+#: Word I/O goes through a zero-copy ``memoryview("I")`` over the line's
+#: backing bytearray when the host is little-endian (matching the
+#: simulated machine); big-endian hosts fall back to explicit
+#: ``int.from_bytes`` conversions.
+_NATIVE_WORDS = sys.byteorder == "little"
+
 
 class CacheLine:
     """One cache line.
 
     ``meta`` is reserved for the owning architecture (the intermittent
-    architectures hang the line's LBF off it).
+    architectures hang the line's LBF off it).  ``words`` aliases
+    ``data`` as host-order uint32s and must be refreshed whenever
+    ``data`` is rebound to a new buffer.
     """
 
-    __slots__ = ("valid", "dirty", "block_addr", "data", "meta")
+    __slots__ = ("valid", "dirty", "block_addr", "data", "words", "meta")
 
     def __init__(self, block_size):
         self.valid = False
         self.dirty = False
         self.block_addr = 0
         self.data = bytearray(block_size)
+        self.words = memoryview(self.data).cast("I") if _NATIVE_WORDS else None
         self.meta = None
 
     def invalidate(self):
@@ -70,13 +81,15 @@ class WriteBackCache:
     # ----------------------------------------------------------- access
     def lookup(self, block_addr):
         """Return the line holding ``block_addr`` (LRU-promoted), or None."""
-        lines = self._set_for(block_addr)
-        for i, line in enumerate(lines):
+        lines = self._sets[(block_addr // self.block_size) % self.num_sets]
+        i = 0
+        for line in lines:
             if line.valid and line.block_addr == block_addr:
                 if i:
                     lines.insert(0, lines.pop(i))
                 self.hits += 1
                 return line
+            i += 1
         self.misses += 1
         return None
 
@@ -124,6 +137,8 @@ class WriteBackCache:
             victim.dirty = old.dirty
             victim.block_addr = old.block_addr
             victim.data = bytearray(old.data)
+            if _NATIVE_WORDS:
+                victim.words = memoryview(victim.data).cast("I")
             victim.meta = old.meta
             self.evictions += 1
         line = lines.pop(index)
@@ -135,14 +150,25 @@ class WriteBackCache:
         return line, victim
 
     # ------------------------------------------------------- word I/O
-    def read_word(self, line, addr):
-        offset = addr & (self.block_size - 1) & ~3
-        return int.from_bytes(line.data[offset : offset + 4], "little")
+    if _NATIVE_WORDS:
 
-    def write_word(self, line, addr, value):
-        offset = addr & (self.block_size - 1) & ~3
-        line.data[offset : offset + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
-        line.dirty = True
+        def read_word(self, line, addr):
+            return line.words[(addr & (self.block_size - 1)) >> 2]
+
+        def write_word(self, line, addr, value):
+            line.words[(addr & (self.block_size - 1)) >> 2] = value & 0xFFFFFFFF
+            line.dirty = True
+
+    else:
+
+        def read_word(self, line, addr):
+            offset = addr & (self.block_size - 1) & ~3
+            return int.from_bytes(line.data[offset : offset + 4], "little")
+
+        def write_word(self, line, addr, value):
+            offset = addr & (self.block_size - 1) & ~3
+            line.data[offset : offset + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+            line.dirty = True
 
     def read_byte(self, line, addr):
         return line.data[addr & (self.block_size - 1)]

@@ -39,6 +39,34 @@ class BackupPolicy:
         """Called after each retired instruction; returns a PolicyAction."""
         return PolicyAction.NONE
 
+    def decide(self, platform, cycles):
+        """Fast-run-loop entry point: ``(action, quantum_guard)``.
+
+        ``quantum_guard`` is ``None`` or a ``(floor, growth,
+        cycle_budget, resync)`` tuple that lets the loop skip consulting
+        the policy while the skips are provably unobservable.  After
+        each subsequent step the loop advances ``floor += growth`` and
+        accumulates the step's cycles into ``skipped``; the policy stays
+        skipped while **both** the post-charge capacitor energy exceeds
+        ``floor`` (energy-threshold policies: the floor's growth bounds
+        how fast the policy's threshold can rise) and ``skipped <
+        cycle_budget`` (cycle-counter policies: every skipped decision
+        would still be under the counter's period).  Either test failing
+        revokes the guard: the loop calls ``resync(skipped_cycles)``
+        (if not None) with the cycles of all *fully skipped* steps so a
+        counter policy can catch up its state, then consults the policy
+        exactly for the revoking step.  A power failure or shutdown
+        drops the guard without resync (``on_period_start`` re-bases the
+        policy's state, exactly as in the reference loop).
+
+        A policy may only grant a guard when every skipped call would
+        provably return :data:`PolicyAction.NONE` with no side effects
+        beyond what ``resync`` reconstructs.  Policies that keep the
+        default (task, user policies) are consulted after every
+        instruction, exactly as the reference loop does.
+        """
+        return self.after_step(platform, cycles), None
+
 
 class NeverPolicy(BackupPolicy):
     """No policy backups; only the architecture's structural backups.

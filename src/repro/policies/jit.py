@@ -14,9 +14,26 @@ and therefore has zero dead energy — matching Section 6.1.4.
 
 from repro.policies.base import BackupPolicy, PolicyAction
 
+#: JIT's guard is energy-bounded only — no cycle budget.
+_NO_BUDGET = float("inf")
+
 
 class JitPolicy(BackupPolicy):
     name = "jit"
+
+    def __init__(self):
+        self._estimate = None
+        self._step_pad = 0.0
+        self._growth = None
+
+    def reset(self, platform):
+        # Per-run constants, re-bound here because the same policy
+        # instance may be reused across platforms.  Only decide() uses
+        # them; after_step stays the reference implementation.
+        arch = platform.arch
+        self._estimate = arch.estimate_backup_cost
+        self._step_pad = arch.worst_step_cost()
+        self._growth = arch.estimate_growth_per_step()
 
     def after_step(self, platform, cycles):
         capacitor = platform.capacitor
@@ -25,3 +42,24 @@ class JitPolicy(BackupPolicy):
         if capacitor.energy <= threshold:
             return PolicyAction.SHUTDOWN
         return PolicyAction.NONE
+
+    def decide(self, platform, cycles):
+        """Threshold test plus a quantum guard from one estimate.
+
+        JIT is stateless and its decision is a pure threshold test, so
+        consulting it can be skipped while the margin is provably
+        positive: over ``j`` backup-free steps the threshold rises by at
+        most ``j * estimate_growth_per_step()``, so a floor that starts
+        at today's threshold and grows by that bound per step keeps
+        every skipped decision provably NONE (the loop compares the
+        *actual* post-charge capacitor energy against the floor, so no
+        per-step draw bound is needed).  Architectures without a growth
+        bound get per-step checks, exactly like the reference loop.
+        """
+        threshold = self._estimate() + self._step_pad
+        if platform.capacitor.energy <= threshold:
+            return PolicyAction.SHUTDOWN, None
+        growth = self._growth
+        if growth is None:
+            return PolicyAction.NONE, None
+        return PolicyAction.NONE, (threshold, growth, _NO_BUDGET, None)

@@ -29,6 +29,13 @@ LABEL_MARGIN = 0.06
 #: How often (cycles) the device samples its ADC and runs the model.
 CHECK_INTERVAL_CYCLES = 100
 
+#: Between checks the policy ignores energy: its guard never fails the
+#: floor test.
+_NO_FLOOR = float("-inf")
+
+#: Per-sample ADC jitter sigma (hoisted: same value every check).
+_SAMPLE_NOISE = MEASUREMENT_NOISE / 4
+
 
 class MlpModel:
     """A tiny 2-layer MLP binary classifier (numpy, CPU, no autograd)."""
@@ -124,6 +131,9 @@ class SpendthriftPolicy(BackupPolicy):
         self._since_check = 0
         self._env = 0.5
         self._offset = 0.0
+        # Reused feature buffer: refilled in place each check, so the
+        # per-check ndarray allocation disappears from the hot path.
+        self._features = np.empty(3, dtype=np.float64)
 
     def reset(self, platform):
         if self.model is None:
@@ -148,12 +158,40 @@ class SpendthriftPolicy(BackupPolicy):
         capacitor = platform.capacitor
         arch = platform.arch
         measured = capacitor.fraction + self._offset + float(
-            self._rng.normal(0.0, MEASUREMENT_NOISE / 4)
+            self._rng.normal(0.0, _SAMPLE_NOISE)
         )
         cost_fraction = (
             arch.estimate_backup_cost() + arch.worst_step_cost()
         ) / capacitor.capacity
-        features = np.array([measured, cost_fraction, self._env])
+        features = self._features
+        features[0] = measured
+        features[1] = cost_fraction
+        features[2] = self._env
         if self.model.predict(features):
             return PolicyAction.SHUTDOWN
         return PolicyAction.NONE
+
+    def decide(self, platform, cycles):
+        """NN check plus a cycle-budget guard between checks.
+
+        Between checks the decision is a pure cycle-counter compare
+        (the RNG and model are only consulted when ``_since_check``
+        reaches ``check_interval``), so the loop may skip the policy for
+        ``check_interval - _since_check`` cycles; ``_resync``
+        reconstructs the counter at revoke.  A power failure drops the
+        guard without resync — ``on_period_start`` zeroes the counter
+        and redraws the calibration offset exactly as in the reference
+        loop.
+        """
+        action = self.after_step(platform, cycles)
+        if action == PolicyAction.NONE:
+            return action, (
+                _NO_FLOOR,
+                0.0,
+                self.check_interval - self._since_check,
+                self._resync,
+            )
+        return action, None
+
+    def _resync(self, skipped_cycles):
+        self._since_check += skipped_cycles

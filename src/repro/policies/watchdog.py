@@ -10,6 +10,9 @@ from repro.policies.base import BackupPolicy, PolicyAction
 
 DEFAULT_PERIOD_CYCLES = 8000
 
+#: The watchdog ignores energy: its guard never fails the floor test.
+_NO_FLOOR = float("-inf")
+
 
 class WatchdogPolicy(BackupPolicy):
     name = "watchdog"
@@ -36,3 +39,25 @@ class WatchdogPolicy(BackupPolicy):
         if self._elapsed >= self.period:
             return PolicyAction.BACKUP
         return PolicyAction.NONE
+
+    def decide(self, platform, cycles):
+        """Timer test plus a cycle-budget guard.
+
+        The decision is a pure cycle-counter compare, so the loop may
+        skip consulting it while fewer than ``period - _elapsed`` cycles
+        have accumulated — every skipped call would provably return NONE
+        and only advance the counter, which ``_resync`` reconstructs at
+        revoke.  Structural backups don't touch the timer (``on_backup``
+        only fires for policy backups, which can't happen while the
+        policy is skipped), and a power failure drops the guard without
+        resync (``on_period_start`` zeroes the timer anyway).
+        """
+        action = self.after_step(platform, cycles)
+        if action == PolicyAction.NONE:
+            return action, (
+                _NO_FLOOR, 0.0, self.period - self._elapsed, self._resync
+            )
+        return action, None
+
+    def _resync(self, skipped_cycles):
+        self._elapsed += skipped_cycles

@@ -17,6 +17,7 @@ The run loop models the paper's execution environment:
   persisted its outputs.
 """
 
+import os
 from dataclasses import dataclass, field
 
 from repro.arch import make_architecture
@@ -25,15 +26,22 @@ from repro.energy.accounting import EnergyLedger, PowerFailure
 from repro.energy.capacitor import CAPACITOR_PRESETS, Supercapacitor
 from repro.energy.model import NVM_TECHNOLOGIES, EnergyModel
 from repro.energy.traces import HarvestTrace
-from repro.cpu.core import Core
+from repro.cpu.core import Core, ExecutionError
+from repro.cpu.fastcore import FastCore
 from repro.mem.nvm import NvmFlash
 from repro.policies import make_policy
-from repro.policies.base import PolicyAction
+from repro.policies.base import BackupPolicy, PolicyAction
 from repro.sim.results import RunResult
 
 
 class SimulationError(Exception):
     """The simulation could not make progress (timeout / livelock)."""
+
+
+def _fast_default():
+    """Default for :attr:`PlatformConfig.fast`; ``REPRO_FAST=0`` forces
+    the reference interpreter process-wide (A/B timing, debugging)."""
+    return os.environ.get("REPRO_FAST", "1") not in ("0", "")
 
 
 @dataclass
@@ -75,6 +83,12 @@ class PlatformConfig:
     # Limits
     max_steps: int = 5_000_000
     max_periods: int = 200_000
+    #: Use the fast-path execution engine (pre-decoded dispatch + policy
+    #: quanta + batched ledger classification).  Results are bit-identical
+    #: to the reference interpreter; set ``fast=False`` (or export
+    #: ``REPRO_FAST=0`` to flip the default process-wide) to run the
+    #: seed per-instruction loop (the differential suite compares both).
+    fast: bool = field(default_factory=_fast_default)
 
     def arch_kwargs(self):
         common = dict(
@@ -138,6 +152,29 @@ def default_config(**overrides):
 class Platform:
     """One program wired to one architecture/policy/trace combination."""
 
+    __slots__ = (
+        "program",
+        "config",
+        "trace",
+        "benchmark_name",
+        "nvm",
+        "capacitor",
+        "ledger",
+        "energy",
+        "arch",
+        "core",
+        "policy",
+        "active_cycles",
+        "off_cycles",
+        "active_periods",
+        "power_failures",
+        "shutdowns",
+        "events",
+        "_cpu_cycle_energy",
+        "_leak",
+        "_overhead_leak",
+    )
+
     def __init__(self, program, config=None, trace=None, benchmark_name=""):
         self.program = program
         self.config = config or PlatformConfig()
@@ -164,7 +201,8 @@ class Platform:
             layout,
             **self.config.arch_kwargs(),
         )
-        self.core = Core(program, self.arch)
+        core_cls = FastCore if self.config.fast else Core
+        self.core = core_cls(program, self.arch)
         self.arch.attach_core(self.core)
         self.policy = self.config.make_policy()
 
@@ -241,11 +279,8 @@ class Platform:
     # ------------------------------------------------------------ run
     def run(self):
         """Execute the program to completion; returns a RunResult."""
-        core = self.core
-        policy = self.policy
-        ledger = self.ledger
         arch = self.arch
-        policy.reset(self)
+        self.policy.reset(self)
         # Flashing the device includes its entry state: commit a free
         # factory checkpoint so a restore target always exists, then
         # charge a real initial backup once powered.
@@ -255,7 +290,28 @@ class Platform:
             arch.backup(BackupReason.INITIAL)
         except PowerFailure:
             self._power_failure()
+        # The inline fast loop dispatches straight to the pre-decoded
+        # closure table, which bypasses Core.step and therefore cannot
+        # honour retire hooks (instruction tracing, the task policy) —
+        # those run on the reference loop.  Hooks are installed by
+        # policy.reset() / tracer attachment, both of which have
+        # happened by this point.
+        if (
+            self.config.fast
+            and self.core.on_retire is None
+            and isinstance(self.core, FastCore)
+        ):
+            self._run_fast()
+        else:
+            self._run_reference()
+        return self._result()
 
+    def _run_reference(self):
+        """The seed per-instruction loop: policy consulted every step."""
+        core = self.core
+        policy = self.policy
+        ledger = self.ledger
+        arch = self.arch
         step_energy = self._cpu_cycle_energy + self._leak
         steps = 0
         max_steps = self.config.max_steps
@@ -286,7 +342,288 @@ class Platform:
                     self._shutdown()
             except PowerFailure:
                 self._power_failure()
-        return self._result()
+
+    def _run_fast(self):
+        """Dispatch to the specialized fast loop.
+
+        The per-cycle overhead leakage (NvMR's MTC) is constant per run,
+        so the loop is specialized once here instead of testing it every
+        step: architectures without it run :meth:`_run_fast_forward`,
+        which has the whole overhead-charge block removed; the rest run
+        :meth:`_run_fast_overhead`.  The two loops are line-for-line
+        identical apart from that block (keep them in sync; the
+        differential suite exercises both via clank and nvmr).
+        """
+        if self._overhead_leak:
+            self._run_fast_overhead()
+        else:
+            self._run_fast_forward()
+
+    def _run_fast_forward(self):
+        """The fast loop: identical observable behavior to
+        :meth:`_run_reference`, restructured for speed.
+
+        * instruction dispatch goes straight to the pre-decoded closure
+          table (:class:`~repro.cpu.fastcore.FastCore`) — :meth:`run`
+          only selects this loop when no retire hook needs the
+          ``Core.step`` path;
+        * the two hot ledger categories are charged through their direct
+          entry points (same capacitor draws, same committed totals);
+        * when the policy grants a quantum guard (see
+          :meth:`~repro.policies.base.BackupPolicy.decide`) the
+          per-step policy call is skipped.  Energy-floor guards (JIT)
+          keep a per-step safety test: skip while the post-charge
+          capacitor energy stays above a floor that grows by the
+          architecture's estimate-growth bound per step, so a
+          violation backup that drains charge mid-window revokes the
+          guard immediately.  Cycle-budget guards (watchdog,
+          Spendthrift) ignore energy entirely: they skip on a pure
+          cycle count until the granted budget is exhausted, then
+          resync the policy's counter with the fully skipped steps and
+          consult it exactly for the revoking step.  Revocation (or a
+          power failure) returns to the exact per-instruction path, so
+          decisions near any boundary match the reference loop bit for
+          bit.
+
+        This variant is for architectures with no per-cycle overhead
+        leakage; :meth:`_run_fast_overhead` carries the extra charge.
+        """
+        core = self.core
+        policy = self.policy
+        ledger = self.ledger
+        arch = self.arch
+        capacitor = self.capacitor
+        backup = arch.backup
+        charge_forward = ledger.charge_forward
+        after_step = policy.after_step
+        # Policies that don't override decide() (task, user policies)
+        # are called through plain after_step, exactly like the
+        # reference loop; anything else goes through decide().
+        use_decide = (
+            getattr(type(policy), "decide", None) is not BackupPolicy.decide
+            and getattr(policy, "decide", None) is not None
+        )
+        decide = policy.decide if use_decide else None
+        ops = core._ops
+        code_base = core._code_base
+        rf = core.rf
+        step_energy = self._cpu_cycle_energy + self._leak
+        steps = 0
+        # Guard mode: 0 = consult the policy every step, 1 = energy
+        # floor (per-step safety test), 2 = cycle budget (blind count).
+        gmode = 0
+        floor = 0.0
+        growth = 0.0
+        budget = 0
+        skipped = 0
+        resync = None
+        inf = float("inf")
+        max_steps = self.config.max_steps
+        none_action = PolicyAction.NONE
+        backup_action = PolicyAction.BACKUP
+        shutdown_action = PolicyAction.SHUTDOWN
+        try:
+            while True:
+                if core.halted:
+                    try:
+                        backup(BackupReason.FINAL)
+                        break
+                    except PowerFailure:
+                        self._power_failure()
+                        gmode = 0
+                        continue
+                if steps >= max_steps:
+                    raise SimulationError(f"exceeded {max_steps} instructions")
+                try:
+                    try:
+                        fn = ops[(rf.pc - code_base) >> 2]
+                    except IndexError:
+                        raise ExecutionError(
+                            f"pc outside code: {rf.pc:#x}"
+                        ) from None
+                    cycles = fn()
+                    steps += 1
+                    self.active_cycles += cycles
+                    # Per-step CPU + leakage charge, inlined from
+                    # EnergyLedger.charge_forward: the common case (slot
+                    # pinned, charge affordable) runs on a local copy of
+                    # the capacitor level — the same compares and
+                    # subtractions, one attribute store; anything else
+                    # delegates to the ledger, which redoes the exact
+                    # same transition.
+                    energy = capacitor.energy
+                    amount = cycles * step_energy
+                    if ledger._fwd_touched and energy >= amount:
+                        ledger._fwd_pending += amount
+                        energy -= amount
+                        capacitor.energy = energy
+                    else:
+                        charge_forward(amount)
+                        energy = capacitor.energy
+                    if gmode:
+                        if gmode == 1:
+                            # Energy floor: the post-charge test is the
+                            # safety net — any mid-window drain (a
+                            # violation or structural backup) revokes
+                            # the guard, and the revoking step gets the
+                            # exact decide().  ``energy`` equals the
+                            # post-charge capacitor level on every path
+                            # out of the charge block above.
+                            floor += growth
+                            if energy > floor:
+                                continue
+                        else:
+                            # Cycle budget: every skipped step was
+                            # provably a NONE decision; at revoke,
+                            # catch the policy's counters up with the
+                            # fully skipped steps (the revoking step's
+                            # cycles flow through decide() below).
+                            skipped += cycles
+                            if skipped < budget:
+                                continue
+                            resync(skipped - cycles)
+                        gmode = 0
+                    if decide is not None:
+                        action, guard = decide(self, cycles)
+                    else:
+                        action = after_step(self, cycles)
+                        guard = None
+                    if action is none_action:
+                        if guard is not None:
+                            floor, growth, budget, resync = guard
+                            if budget == inf:
+                                gmode = 1
+                            elif resync is not None:
+                                skipped = 0
+                                gmode = 2
+                    elif action is backup_action:
+                        backup(BackupReason.POLICY)
+                        policy.on_backup(self)
+                    elif action is shutdown_action:
+                        backup(BackupReason.POLICY)
+                        policy.on_backup(self)
+                        self._shutdown()
+                except PowerFailure:
+                    self._power_failure()
+                    gmode = 0
+        finally:
+            core.instructions_retired += steps
+
+    def _run_fast_overhead(self):
+        """:meth:`_run_fast_forward` plus the per-cycle overhead-leakage
+        charge (NvMR's MTC standby power).  See that method's docstring;
+        everything else is line-for-line identical."""
+        core = self.core
+        policy = self.policy
+        ledger = self.ledger
+        arch = self.arch
+        capacitor = self.capacitor
+        backup = arch.backup
+        charge_forward = ledger.charge_forward
+        charge_overhead = ledger.charge_forward_overhead
+        after_step = policy.after_step
+        use_decide = (
+            getattr(type(policy), "decide", None) is not BackupPolicy.decide
+            and getattr(policy, "decide", None) is not None
+        )
+        decide = policy.decide if use_decide else None
+        ops = core._ops
+        code_base = core._code_base
+        rf = core.rf
+        step_energy = self._cpu_cycle_energy + self._leak
+        overhead_leak = self._overhead_leak
+        steps = 0
+        gmode = 0
+        floor = 0.0
+        growth = 0.0
+        budget = 0
+        skipped = 0
+        resync = None
+        inf = float("inf")
+        max_steps = self.config.max_steps
+        none_action = PolicyAction.NONE
+        backup_action = PolicyAction.BACKUP
+        shutdown_action = PolicyAction.SHUTDOWN
+        try:
+            while True:
+                if core.halted:
+                    try:
+                        backup(BackupReason.FINAL)
+                        break
+                    except PowerFailure:
+                        self._power_failure()
+                        gmode = 0
+                        continue
+                if steps >= max_steps:
+                    raise SimulationError(f"exceeded {max_steps} instructions")
+                try:
+                    try:
+                        fn = ops[(rf.pc - code_base) >> 2]
+                    except IndexError:
+                        raise ExecutionError(
+                            f"pc outside code: {rf.pc:#x}"
+                        ) from None
+                    cycles = fn()
+                    steps += 1
+                    self.active_cycles += cycles
+                    # Forward charge then overhead charge, each inlined
+                    # from its ledger fast path; the overhead draw must
+                    # observe the capacitor level left by the forward
+                    # draw, exactly as two sequential charge() calls do.
+                    energy = capacitor.energy
+                    amount = cycles * step_energy
+                    if ledger._fwd_touched and energy >= amount:
+                        ledger._fwd_pending += amount
+                        energy -= amount
+                        amount = cycles * overhead_leak
+                        if ledger._ovh_touched and energy >= amount:
+                            ledger._ovh_pending += amount
+                            energy -= amount
+                            capacitor.energy = energy
+                        else:
+                            capacitor.energy = energy
+                            charge_overhead(amount)
+                            energy = capacitor.energy
+                    else:
+                        charge_forward(amount)
+                        charge_overhead(cycles * overhead_leak)
+                        energy = capacitor.energy
+                    if gmode:
+                        if gmode == 1:
+                            floor += growth
+                            if energy > floor:
+                                continue
+                        else:
+                            skipped += cycles
+                            if skipped < budget:
+                                continue
+                            resync(skipped - cycles)
+                        gmode = 0
+                    if decide is not None:
+                        action, guard = decide(self, cycles)
+                    else:
+                        action = after_step(self, cycles)
+                        guard = None
+                    if action is none_action:
+                        if guard is not None:
+                            floor, growth, budget, resync = guard
+                            if budget == inf:
+                                gmode = 1
+                            elif resync is not None:
+                                skipped = 0
+                                gmode = 2
+                    elif action is backup_action:
+                        backup(BackupReason.POLICY)
+                        policy.on_backup(self)
+                    elif action is shutdown_action:
+                        backup(BackupReason.POLICY)
+                        policy.on_backup(self)
+                        self._shutdown()
+                except PowerFailure:
+                    self._power_failure()
+                    gmode = 0
+        finally:
+            core.instructions_retired += steps
 
     # ---------------------------------------------------------- result
     def _result(self):

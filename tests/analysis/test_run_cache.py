@@ -1,0 +1,132 @@
+"""The persistent on-disk run cache: hits, misses and invalidation."""
+
+import json
+
+import pytest
+
+import repro
+from repro.analysis import runcache
+from repro.analysis.experiments import _config_key, _run_cache, cached_run, clear_run_cache
+from repro.analysis.parallel import prefetch_runs
+from repro.sim.platform import PlatformConfig
+from repro.workloads import register_workload, unregister_workload
+
+BENCH = "hist"
+CONFIG = PlatformConfig(arch="clank", policy="jit")
+SEED = 0
+
+
+@pytest.fixture(autouse=True)
+def _enable_disk_cache(monkeypatch):
+    """Turn the disk layer on (the suite-wide fixture disables it); the
+    cache directory is already isolated to this test's tmp_path."""
+    monkeypatch.setenv("REPRO_RUN_CACHE", "1")
+    clear_run_cache()
+    yield
+    clear_run_cache()
+
+
+def _entries():
+    directory = runcache.cache_dir()
+    return sorted(p.name for p in directory.glob("*.json")) if directory.is_dir() else []
+
+
+def test_round_trip_and_cross_process_hit():
+    first = cached_run(BENCH, CONFIG, SEED)
+    assert len(_entries()) == 1
+    # A fresh process is simulated by clearing the in-process layer:
+    # the rerun must be served from disk, bit-identical, 0 simulations.
+    clear_run_cache()
+    fetched = runcache.fetch(BENCH, _config_key(CONFIG), SEED)
+    assert fetched == first
+    assert cached_run(BENCH, CONFIG, SEED) == first
+    assert len(_entries()) == 1  # hit, not a re-store under a new key
+
+
+def test_disabled_by_env(monkeypatch):
+    monkeypatch.setenv("REPRO_RUN_CACHE", "0")
+    cached_run(BENCH, CONFIG, SEED)
+    assert _entries() == []
+
+
+def test_config_change_misses():
+    cached_run(BENCH, CONFIG, SEED)
+    cached_run(BENCH, PlatformConfig(arch="clank", policy="jit", gbf_bits=4), SEED)
+    assert len(_entries()) == 2
+    # Trace seed is part of the key too.
+    cached_run(BENCH, CONFIG, SEED + 1)
+    assert len(_entries()) == 3
+
+
+def test_program_edit_invalidates():
+    source = "int out[1]; int main() { out[0] = 41; return 0; }"
+    edited = "int out[1]; int main() { out[0] = 42; return 0; }"
+    register_workload("rc_probe", source, lambda: {"g_out": [41]})
+    try:
+        key_before = runcache.entry_key("rc_probe", _config_key(CONFIG), SEED)
+        cached_run("rc_probe", CONFIG, SEED)
+        assert f"{key_before}.json" in _entries()
+    finally:
+        unregister_workload("rc_probe")
+    clear_run_cache()
+    register_workload("rc_probe", edited, lambda: {"g_out": [42]})
+    try:
+        key_after = runcache.entry_key("rc_probe", _config_key(CONFIG), SEED)
+        assert key_after != key_before
+        # The stale entry is never consulted: the edited program runs
+        # fresh and verifies against its own (changed) reference.
+        result = cached_run("rc_probe", CONFIG, SEED)
+        assert result.benchmark == "rc_probe"
+        assert f"{key_after}.json" in _entries()
+    finally:
+        unregister_workload("rc_probe")
+
+
+def test_model_version_bump_invalidates(monkeypatch):
+    key_v1 = runcache.entry_key(BENCH, _config_key(CONFIG), SEED)
+    monkeypatch.setattr(repro, "MODEL_VERSION", repro.MODEL_VERSION + 1)
+    key_v2 = runcache.entry_key(BENCH, _config_key(CONFIG), SEED)
+    assert key_v1 != key_v2
+
+
+def test_non_primitive_config_key_skips_disk():
+    from repro.policies import make_policy
+
+    config = PlatformConfig(arch="clank", policy=make_policy("jit"))
+    assert runcache.entry_key(BENCH, _config_key(config), SEED) is None
+    cached_run(BENCH, config, SEED)
+    assert _entries() == []
+
+
+def test_corrupt_entry_is_a_miss():
+    cached_run(BENCH, CONFIG, SEED)
+    (path,) = runcache.cache_dir().glob("*.json")
+    path.write_text("{not json")
+    clear_run_cache()
+    result = cached_run(BENCH, CONFIG, SEED)  # re-simulates, no raise
+    assert json.loads(path.read_text())["result"]["benchmark"] == BENCH
+    assert result.benchmark == BENCH
+
+
+def test_parallel_prefetch_seeds_same_entries_as_serial():
+    jobs = [
+        (BENCH, PlatformConfig(arch=arch, policy="jit"), seed)
+        for arch in ("clank", "nvmr")
+        for seed in (0, 1)
+    ]
+    fresh = prefetch_runs(jobs, workers=2)
+    assert fresh == len(jobs)
+    parallel_mem = dict(_run_cache)
+    parallel_disk = _entries()
+
+    clear_run_cache(disk=True)
+    assert _entries() == []
+    for benchmark, config, seed in jobs:
+        cached_run(benchmark, config, seed)
+    assert _entries() == parallel_disk
+    assert dict(_run_cache) == parallel_mem
+
+    # And a prefetch over a warm disk cache executes nothing fresh.
+    clear_run_cache()
+    assert prefetch_runs(jobs, workers=2) == 0
+    assert dict(_run_cache) == parallel_mem

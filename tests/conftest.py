@@ -10,6 +10,15 @@ from repro.mem.nvm import NvmFlash
 from repro.asm.program import MemoryLayout
 
 
+@pytest.fixture(autouse=True)
+def _isolated_disk_run_cache(monkeypatch, tmp_path):
+    """Keep tests deterministic regardless of the user's persistent run
+    cache: disable the disk layer and point it at a per-test directory.
+    The run-cache tests re-enable it explicitly (REPRO_RUN_CACHE=1)."""
+    monkeypatch.setenv("REPRO_RUN_CACHE", "0")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "run-cache"))
+
+
 @pytest.fixture
 def layout():
     return MemoryLayout()

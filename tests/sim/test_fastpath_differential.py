@@ -1,0 +1,50 @@
+"""The fast path's correctness gate: bit-identity with the reference.
+
+Every registered workload runs under Clank and NvMR with the JIT and
+watchdog policies twice — once on the seed per-instruction interpreter
+(``fast=False``) and once on the fast-path engine — and the *entire*
+observable outcome must match exactly: the full :class:`RunResult`
+(energy breakdown floats bit-for-bit, cycle counts, backups by reason,
+every event counter), the platform event log length, and every final
+NVM memory word.
+
+Any divergence — however small — means the fast path changed modeled
+behaviour, not just speed, and is a bug by definition.
+"""
+
+import pytest
+
+from repro.energy.traces import HarvestTrace
+from repro.sim.platform import Platform, PlatformConfig
+from repro.workloads import BENCHMARKS, load_program
+
+ARCHES = ("clank", "nvmr")
+POLICIES = ("jit", "watchdog")
+TRACE_SEED = 0
+
+
+def _run(bench, arch, policy, fast):
+    config = PlatformConfig(arch=arch, policy=policy, fast=fast)
+    platform = Platform(
+        load_program(bench),
+        config,
+        trace=HarvestTrace(TRACE_SEED),
+        benchmark_name=bench,
+    )
+    return platform.run(), platform
+
+
+@pytest.mark.parametrize("bench", sorted(BENCHMARKS))
+@pytest.mark.parametrize("arch", ARCHES)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_fast_path_is_bit_identical(bench, arch, policy):
+    ref_result, ref_platform = _run(bench, arch, policy, fast=False)
+    fast_result, fast_platform = _run(bench, arch, policy, fast=True)
+
+    # Field-by-field so a failure names exactly what diverged.
+    for name in ref_result.__dataclass_fields__:
+        assert getattr(fast_result, name) == getattr(ref_result, name), name
+    assert fast_result == ref_result
+
+    assert len(fast_platform.events) == len(ref_platform.events)
+    assert fast_platform.nvm._words == ref_platform.nvm._words
