@@ -12,6 +12,12 @@ Subcommands
     summary and energy breakdown (``--json`` for machine-readable).
 ``experiment``
     Regenerate one of the paper's tables/figures and print it.
+``verify-fuzz``
+    Crash-consistency fuzzing: seeded random programs under adversarial
+    power-failure schedules, checked by architectural invariant oracles;
+    failures shrink to ``artifacts/repro_*.s`` reproducers.
+``verify-replay``
+    Re-run one such reproducer.
 """
 
 import argparse
@@ -136,6 +142,43 @@ def _cmd_run(args):
         if value:
             print(f"  {category:>18}: {value / 1e3:9.2f} uJ ({100 * value / total:5.1f}%)")
     return 0
+
+
+def _cmd_verify_fuzz(args):
+    from repro.verify import run_fuzz
+
+    progress = None if args.quiet else lambda line: print(line, flush=True)
+    summary = run_fuzz(
+        cases=args.cases,
+        seed=args.seed,
+        artifacts_dir=args.artifacts,
+        max_failures=args.max_failures,
+        progress=progress,
+    )
+    print(
+        f"verify-fuzz: {summary.cases} cases, {summary.runs} runs, "
+        f"{len(summary.failures)} failure(s)"
+    )
+    for failure in summary.failures:
+        print(f"  {failure.summary()}")
+        print(f"    reproducer: {failure.reproducer}")
+    return 0 if summary.ok else 1
+
+
+def _cmd_verify_replay(args):
+    from repro.verify import replay_reproducer
+
+    meta, record = replay_reproducer(args.reproducer)
+    print(
+        f"replaying {args.reproducer}: "
+        f"{meta['arch']}/{meta['policy']}/{meta['engine']}, "
+        f"schedule={meta['schedule']}"
+    )
+    if record is None:
+        print("run is clean: the failure no longer reproduces")
+        return 0
+    print(f"reproduced: {record.kind}: {record.detail}")
+    return 1
 
 
 def _experiment_registry():
@@ -265,6 +308,25 @@ def build_parser():
     p_report.add_argument("--full", action="store_true",
                           help="paper-scale averaging (10 traces)")
 
+    p_fuzz = sub.add_parser(
+        "verify-fuzz",
+        help="crash-consistency fuzzing: random programs + fault injection",
+    )
+    p_fuzz.add_argument("--cases", type=int, default=200,
+                        help="number of fuzz cases to run (default 200)")
+    p_fuzz.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p_fuzz.add_argument("--artifacts", default="artifacts",
+                        help="directory for shrunk reproducers")
+    p_fuzz.add_argument("--max-failures", type=int, default=5,
+                        help="stop after this many distinct failures")
+    p_fuzz.add_argument("--quiet", action="store_true",
+                        help="suppress progress lines")
+
+    p_replay = sub.add_parser(
+        "verify-replay", help="replay a verify-fuzz reproducer (.s)"
+    )
+    p_replay.add_argument("reproducer", help="path to an artifacts/repro_*.s file")
+
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument("names", nargs="+", metavar="name",
                        help=f"one of: {', '.join(_EXPERIMENTS)}")
@@ -291,6 +353,8 @@ def _dispatch(args):
         "run": _cmd_run,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
+        "verify-fuzz": _cmd_verify_fuzz,
+        "verify-replay": _cmd_verify_replay,
     }[args.command]
     return handler(args)
 

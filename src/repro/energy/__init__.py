@@ -12,16 +12,19 @@ the *ratios* NVM write >> NVM read >> SRAM access >> logic).
 from repro.energy.accounting import EnergyBreakdown, EnergyLedger, PowerFailure
 from repro.energy.area import AreaModel
 from repro.energy.capacitor import CAPACITOR_PRESETS, Supercapacitor
+from repro.energy.faultinject import AdversarialSource, InjectedPowerFailure
 from repro.energy.model import EnergyModel
 from repro.energy.traces import HarvestTrace, default_traces
 
 __all__ = [
+    "AdversarialSource",
     "AreaModel",
     "CAPACITOR_PRESETS",
     "EnergyBreakdown",
     "EnergyLedger",
     "EnergyModel",
     "HarvestTrace",
+    "InjectedPowerFailure",
     "PowerFailure",
     "Supercapacitor",
     "default_traces",

@@ -1,0 +1,182 @@
+"""Adversarial power-failure injection for the crash-consistency fuzzer.
+
+Harvest traces (:mod:`repro.energy.traces`) fail the device whenever the
+capacitor happens to run dry — which exercises *typical* failure points,
+not adversarial ones.  :class:`AdversarialSource` replaces the trace
+with an energy source that never browns out on its own (every period
+gets a full budget) and instead raises
+:class:`~repro.energy.accounting.PowerFailure` at *exactly* the
+execution boundaries a schedule names:
+
+``("step", n)``
+    power dies immediately after the ``n``-th retired instruction
+    (counted cumulatively across the whole intermittent run, so faults
+    can land inside re-executed sections);
+``("backup", k)``
+    the ``k``-th backup *attempt* (1-based, counting the initial
+    checkpoint and structural/violation backups) fails before any NVM
+    mutation — modelling an interrupted double-buffered commit, whose
+    previous checkpoint must stay intact;
+``("restore", k)``
+    power dies immediately after the ``k``-th successful restore
+    completes, before the first instruction of the new period retires.
+
+Each fault fires exactly once (the counters are strictly increasing),
+so any schedule terminates.  The platform detects the injector through
+``is_fault_injector`` and calls the ``on_*`` hooks from both the
+reference and the fast-path execution loops at identical boundaries,
+keeping the two engines bit-identical under injection.
+"""
+
+from repro.energy.accounting import PowerFailure
+from repro.energy.traces import PeriodConditions
+
+FAULT_KINDS = ("step", "backup", "restore")
+
+
+class InjectedPowerFailure(PowerFailure):
+    """A power failure raised by an :class:`AdversarialSource`."""
+
+
+class AdversarialSource:
+    """A trace-compatible energy source with an explicit fault schedule.
+
+    Parameters
+    ----------
+    schedule:
+        Iterable of ``(kind, n)`` faults, ``kind`` one of
+        :data:`FAULT_KINDS` and ``n`` a positive ordinal (see module
+        docstring).  Duplicates collapse.
+    budget_fraction / env_voltage / recharge_cycles:
+        The constant :class:`PeriodConditions` served every period.
+        The default full budget means failures come *only* from the
+        schedule (pair with a large capacitor).
+
+    A source is consumed by one run (fired faults never refire); use
+    :meth:`fresh` for a pristine copy with the same schedule.
+    """
+
+    #: Platform detection flag (duck-typed, like the trace interface).
+    is_fault_injector = True
+
+    def __init__(
+        self,
+        schedule=(),
+        budget_fraction=1.0,
+        env_voltage=0.5,
+        recharge_cycles=10_000,
+    ):
+        step_faults, backup_faults, restore_faults = set(), set(), set()
+        buckets = {
+            "step": step_faults,
+            "backup": backup_faults,
+            "restore": restore_faults,
+        }
+        normalized = []
+        for fault in schedule:
+            kind, ordinal = fault
+            if kind not in buckets:
+                raise ValueError(f"unknown fault kind: {kind!r}")
+            ordinal = int(ordinal)
+            if ordinal < 1:
+                raise ValueError(f"fault ordinal must be >= 1: {fault!r}")
+            if ordinal not in buckets[kind]:
+                buckets[kind].add(ordinal)
+                normalized.append((kind, ordinal))
+        self.schedule = tuple(sorted(normalized))
+        self._step_faults = step_faults
+        self._backup_faults = backup_faults
+        self._restore_faults = restore_faults
+        self.budget_fraction = budget_fraction
+        self.env_voltage = env_voltage
+        self.recharge_cycles = recharge_cycles
+        # Execution-boundary counters (cumulative over the whole run).
+        self.steps = 0
+        self.backup_attempts = 0
+        self.restores_completed = 0
+        self.injected = 0
+        self.periods_served = 0
+
+    def fresh(self):
+        """A pristine copy with the same schedule (for re-runs)."""
+        return AdversarialSource(
+            self.schedule,
+            budget_fraction=self.budget_fraction,
+            env_voltage=self.env_voltage,
+            recharge_cycles=self.recharge_cycles,
+        )
+
+    # ------------------------------------------------- trace interface
+    def next_period(self):
+        self.periods_served += 1
+        return PeriodConditions(
+            env_voltage=self.env_voltage,
+            budget_fraction=self.budget_fraction,
+            recharge_cycles=self.recharge_cycles,
+        )
+
+    # ------------------------------------------------- platform hooks
+    def on_step(self):
+        """Called once per retired instruction (both engines)."""
+        self.steps += 1
+        if self.steps in self._step_faults:
+            self.injected += 1
+            raise InjectedPowerFailure(
+                f"injected power failure after instruction {self.steps}"
+            )
+
+    def on_backup_attempt(self):
+        """Called before a backup attempt mutates any state."""
+        self.backup_attempts += 1
+        if self.backup_attempts in self._backup_faults:
+            self.injected += 1
+            raise InjectedPowerFailure(
+                f"injected power failure during backup attempt "
+                f"{self.backup_attempts}"
+            )
+
+    def on_restore(self):
+        """Called right after a restore completes, before execution."""
+        self.restores_completed += 1
+        if self.restores_completed in self._restore_faults:
+            self.injected += 1
+            raise InjectedPowerFailure(
+                f"injected power failure after restore "
+                f"{self.restores_completed}"
+            )
+
+    @property
+    def exhausted(self):
+        """True once every scheduled fault has had a chance to fire.
+
+        A ``step`` fault beyond the program's retirement count never
+        fires — harmless, but reported here for sweep bookkeeping.
+        """
+        return (
+            all(n <= self.steps for n in self._step_faults)
+            and all(n <= self.backup_attempts for n in self._backup_faults)
+            and all(n <= self.restores_completed for n in self._restore_faults)
+        )
+
+
+def step_sweep(start, count):
+    """One single-fault source per instruction boundary in a window.
+
+    Exhaustively kills power after each of instructions ``start`` ..
+    ``start + count - 1`` — the paper's "a power failure may occur at
+    any point" quantifier, made literal over a window.
+    """
+    return [AdversarialSource([("step", n)]) for n in range(start, start + count)]
+
+
+def boundary_sweep(step_window=(), backups=0, restores=0):
+    """Single-fault sources covering mixed boundary kinds.
+
+    ``step_window`` is an iterable of instruction ordinals; ``backups``
+    and ``restores`` are counts of leading ordinals to cover (e.g.
+    ``backups=3`` sweeps the first three backup attempts).
+    """
+    sources = [AdversarialSource([("step", n)]) for n in step_window]
+    sources += [AdversarialSource([("backup", k)]) for k in range(1, backups + 1)]
+    sources += [AdversarialSource([("restore", k)]) for k in range(1, restores + 1)]
+    return sources

@@ -222,6 +222,35 @@ class FreeList:
     def is_empty(self):
         return self.count == 0
 
+    @property
+    def size(self):
+        """Total slots in the ring (fixed at construction)."""
+        return self._size
+
+    def contents(self):
+        """The mappings currently available, oldest-pushed first.
+
+        The live window is the ``count`` slots starting at ``read_idx``
+        in both modes (LIFO moves ``write_idx`` on pop, shrinking the
+        window from the tail).  Introspection/oracle use only — the
+        hardware never enumerates the list.
+        """
+        return [
+            self._slots[(self.read_idx + i) % self._size]
+            for i in range(self.count)
+        ]
+
+    def committed_contents(self):
+        """The mappings a post-power-failure :meth:`restore` would see.
+
+        Valid between commits because slot *contents* only change at
+        commit points (pushes), never on pops.
+        """
+        read_idx, _write_idx, count = self._committed
+        return [
+            self._slots[(read_idx + i) % self._size] for i in range(count)
+        ]
+
     def pop(self):
         """Take a mapping (uncommitted until the next backup commit).
 

@@ -31,7 +31,11 @@ This package makes the model executable:
   against the constraints, including crash scenarios.
 """
 
-from repro.persist.checker import PersistScheduleChecker, ScheduleViolation
+from repro.persist.checker import (
+    PersistScheduleChecker,
+    ScheduleViolation,
+    ViolationRecord,
+)
 from repro.persist.model import (
     Access,
     Backup,
@@ -49,5 +53,6 @@ __all__ = [
     "PersistScheduleChecker",
     "Relation",
     "ScheduleViolation",
+    "ViolationRecord",
     "build_trace",
 ]

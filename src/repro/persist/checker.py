@@ -16,13 +16,54 @@ the paper discusses — eager in-place persistence (broken for
 read-dominated data), Clank-style persist-at-backup, and NvMR-style
 renamed persistence — used by the test suite to show exactly which
 regime violates which constraint.
+
+Every rejection carries a structured :class:`ViolationRecord` (on the
+exception's ``record`` attribute) locating the offence: the event index
+(``pc``), the symbolic address involved, and the intermittent section
+(``epoch``) it happened in — so fuzzing oracles can report *where* a
+schedule went wrong, not just that it did.
 """
+
+from dataclasses import dataclass
 
 from repro.persist.model import Relation
 
 
+@dataclass(frozen=True)
+class ViolationRecord:
+    """Structured description of one invariant/schedule violation.
+
+    ``kind`` classifies the failure (``ordering`` / ``duplicate`` /
+    ``missing`` / ``atomic``, and the fuzzer's oracle kinds);
+    ``pc`` is the event index (or instruction address, for runtime
+    oracles) of the offending operation, ``address`` the memory address
+    involved, and ``epoch`` the intermittent section (checkpoint epoch)
+    it occurred in.  Any locator may be None when not applicable.
+    """
+
+    kind: str
+    detail: str
+    pc: int = None
+    address: object = None
+    epoch: int = None
+    relation: str = None
+    first: tuple = None
+    second: tuple = None
+
+
 class ScheduleViolation(AssertionError):
-    """A persist schedule broke a happens-before constraint."""
+    """A persist schedule broke a happens-before constraint.
+
+    Carries a :class:`ViolationRecord` as ``.record``; the exception
+    message is the record's ``detail`` (kept stable for callers that
+    match on it).
+    """
+
+    def __init__(self, record):
+        if isinstance(record, str):  # plain-message compatibility
+            record = ViolationRecord(kind="generic", detail=record)
+        self.record = record
+        super().__init__(record.detail)
 
 
 class PersistScheduleChecker:
@@ -31,6 +72,45 @@ class PersistScheduleChecker:
     def __init__(self, model):
         self.model = model
         self.constraints = model.constraints()
+
+    # ------------------------------------------------------- locating
+    def _locate(self, index):
+        """(address, epoch) of event ``index`` in the model's trace."""
+        events = self.model.events
+        address = None
+        if 0 <= index < len(events):
+            address = getattr(events[index], "addr", None)
+        for epoch, (start, end, _backup) in enumerate(self.model.sections):
+            if start <= index <= end:
+                return address, epoch
+        return address, None
+
+    def _violation(self, kind, detail, first=None, second=None, relation=None):
+        """Build a ScheduleViolation anchored at the offending store
+        (falling back to whichever op is available)."""
+        anchor = None
+        for op in (first, second):
+            if op is not None and op[0] == "st":
+                anchor = op
+                break
+        if anchor is None:
+            anchor = first if first is not None else second
+        pc = address = epoch = None
+        if anchor is not None:
+            pc = anchor[1]
+            address, epoch = self._locate(pc)
+        return ScheduleViolation(
+            ViolationRecord(
+                kind=kind,
+                detail=detail,
+                pc=pc,
+                address=address,
+                epoch=epoch,
+                relation=relation,
+                first=first,
+                second=second,
+            )
+        )
 
     def check(self, schedule, atomic_with=None):
         """Validate ``schedule`` (a list of persist-op tuples).
@@ -45,15 +125,23 @@ class PersistScheduleChecker:
         position = {}
         for index, op in enumerate(schedule):
             if op in position:
-                raise ScheduleViolation(f"duplicate persist of {op}")
+                raise self._violation(
+                    "duplicate", f"duplicate persist of {op}", first=op
+                )
             position[op] = index
         for backup_op, stores in atomic_with.items():
             if backup_op not in position:
-                raise ScheduleViolation(f"atomic group for unpersisted {backup_op}")
+                raise self._violation(
+                    "atomic",
+                    f"atomic group for unpersisted {backup_op}",
+                    first=backup_op,
+                )
             for store_op in stores:
                 if store_op in position:
-                    raise ScheduleViolation(
-                        f"{store_op} persisted both standalone and atomically"
+                    raise self._violation(
+                        "atomic",
+                        f"{store_op} persisted both standalone and atomically",
+                        first=store_op,
                     )
                 position[store_op] = position[backup_op]
 
@@ -66,7 +154,11 @@ class PersistScheduleChecker:
             if ("st", index) not in position
         ]
         if missing:
-            raise ScheduleViolation(f"required persists never happened: {missing}")
+            raise self._violation(
+                "missing",
+                f"required persists never happened: {missing}",
+                first=missing[0],
+            )
         return True
 
     def _check_constraint(self, constraint, position, atomic_with):
@@ -80,23 +172,35 @@ class PersistScheduleChecker:
         if constraint.relation == Relation.IRPO:
             # "not until the backup persists": equality (atomic) is OK.
             if second_pos < first_pos:
-                raise ScheduleViolation(
-                    f"irpo violated: {second} persisted before {first}"
+                raise self._violation(
+                    "ordering",
+                    f"irpo violated: {second} persisted before {first}",
+                    first=first,
+                    second=second,
+                    relation=Relation.IRPO.value,
                 )
             return
         if constraint.relation == Relation.RFPO:
             # "before the backup persists": atomic-with also satisfies.
             if first_pos > second_pos:
-                raise ScheduleViolation(
-                    f"rfpo violated: {first} persisted after {second}"
+                raise self._violation(
+                    "ordering",
+                    f"rfpo violated: {first} persisted after {second}",
+                    first=first,
+                    second=second,
+                    relation=Relation.RFPO.value,
                 )
             return
         # spo / bpo: strict order between distinct persist slots.
         if first_pos >= second_pos and not (
             first_pos == second_pos and self._same_atomic_group(first, second, atomic_with)
         ):
-            raise ScheduleViolation(
-                f"{constraint.relation.value} violated: {first} !-> {second}"
+            raise self._violation(
+                "ordering",
+                f"{constraint.relation.value} violated: {first} !-> {second}",
+                first=first,
+                second=second,
+                relation=constraint.relation.value,
             )
 
     @staticmethod

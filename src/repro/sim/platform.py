@@ -173,12 +173,21 @@ class Platform:
         "_cpu_cycle_energy",
         "_leak",
         "_overhead_leak",
+        "_injector",
     )
 
     def __init__(self, program, config=None, trace=None, benchmark_name=""):
         self.program = program
         self.config = config or PlatformConfig()
         self.trace = trace if trace is not None else HarvestTrace(0)
+        # A fault-injecting trace (repro.energy.faultinject) doubles as
+        # an execution-boundary observer: the run loops call its on_*
+        # hooks, which raise PowerFailure at scheduled boundaries.
+        self._injector = (
+            self.trace
+            if getattr(self.trace, "is_fault_injector", False)
+            else None
+        )
         self.benchmark_name = benchmark_name or "program"
         layout = program.layout
 
@@ -223,10 +232,24 @@ class Platform:
 
     def _install_event_recorder(self):
         original_backup = self.arch.backup
+        injector = self._injector
 
-        def recorded_backup(reason):
-            original_backup(reason)
-            self.events.append((self.active_cycles, "backup", reason))
+        if injector is None:
+
+            def recorded_backup(reason):
+                original_backup(reason)
+                self.events.append((self.active_cycles, "backup", reason))
+
+        else:
+            # Mid-backup injection: every backup charges its full cost
+            # before mutating NVM (interrupted double-buffered commit),
+            # so failing the attempt *before* the call models a power
+            # loss at any point inside the backup — the previous
+            # checkpoint stays committed either way.
+            def recorded_backup(reason):
+                injector.on_backup_attempt()
+                original_backup(reason)
+                self.events.append((self.active_cycles, "backup", reason))
 
         self.arch.backup = recorded_backup
 
@@ -256,6 +279,10 @@ class Platform:
             self._start_period()
             try:
                 self.arch.restore()
+                if self._injector is not None:
+                    # First-instant-after-restore injection: the restore
+                    # completed, but power dies before anything retires.
+                    self._injector.on_restore()
                 self.ledger.commit_epoch()
                 return
             except PowerFailure:
@@ -312,6 +339,7 @@ class Platform:
         policy = self.policy
         ledger = self.ledger
         arch = self.arch
+        injector = self._injector
         step_energy = self._cpu_cycle_energy + self._leak
         steps = 0
         max_steps = self.config.max_steps
@@ -332,6 +360,8 @@ class Platform:
                 ledger.charge("forward", cycles * step_energy)
                 if self._overhead_leak:
                     ledger.charge("forward_overhead", cycles * self._overhead_leak)
+                if injector is not None:
+                    injector.on_step()
                 action = policy.after_step(self, cycles)
                 if action == PolicyAction.BACKUP:
                     arch.backup(BackupReason.POLICY)
@@ -394,6 +424,7 @@ class Platform:
         arch = self.arch
         capacitor = self.capacitor
         backup = arch.backup
+        injector = self._injector
         charge_forward = ledger.charge_forward
         after_step = policy.after_step
         # Policies that don't override decide() (task, user policies)
@@ -460,6 +491,8 @@ class Platform:
                     else:
                         charge_forward(amount)
                         energy = capacitor.energy
+                    if injector is not None:
+                        injector.on_step()
                     if gmode:
                         if gmode == 1:
                             # Energy floor: the post-charge test is the
@@ -519,6 +552,7 @@ class Platform:
         arch = self.arch
         capacitor = self.capacitor
         backup = arch.backup
+        injector = self._injector
         charge_forward = ledger.charge_forward
         charge_overhead = ledger.charge_forward_overhead
         after_step = policy.after_step
@@ -588,6 +622,8 @@ class Platform:
                         charge_forward(amount)
                         charge_overhead(cycles * overhead_leak)
                         energy = capacitor.energy
+                    if injector is not None:
+                        injector.on_step()
                     if gmode:
                         if gmode == 1:
                             floor += growth

@@ -1,0 +1,56 @@
+"""Crash-consistency verification: random program generation,
+power-failure fault injection, and architectural invariant oracles.
+
+The entry point is :func:`repro.verify.harness.run_fuzz` (exposed on the
+CLI as ``verify-fuzz``); failures shrink to replayable ``repro_*.s``
+reproducers handled by :func:`repro.verify.harness.replay_reproducer`
+(CLI ``verify-replay``).
+"""
+
+from repro.verify.harness import (
+    FuzzFailure,
+    FuzzSummary,
+    RunPlan,
+    replay_reproducer,
+    run_case,
+    run_differential,
+    run_fuzz,
+    run_single,
+    shrink_failure,
+    write_reproducer,
+)
+from repro.verify.oracles import (
+    CrashConsistencyMonitor,
+    InvariantViolation,
+    check_final_state,
+    check_nvmr_structures,
+)
+from repro.verify.progen import (
+    AsmSpec,
+    MiniccSpec,
+    format_program,
+    generate_asm_spec,
+    generate_minicc_spec,
+)
+
+__all__ = [
+    "AsmSpec",
+    "CrashConsistencyMonitor",
+    "FuzzFailure",
+    "FuzzSummary",
+    "InvariantViolation",
+    "MiniccSpec",
+    "RunPlan",
+    "check_final_state",
+    "check_nvmr_structures",
+    "format_program",
+    "generate_asm_spec",
+    "generate_minicc_spec",
+    "replay_reproducer",
+    "run_case",
+    "run_differential",
+    "run_fuzz",
+    "run_single",
+    "shrink_failure",
+    "write_reproducer",
+]

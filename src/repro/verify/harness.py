@@ -1,0 +1,471 @@
+"""The crash-consistency fuzzing harness.
+
+One *case* = one seeded random program plus one adversarial failure
+schedule, run across the oracle matrix:
+
+* the **ideal** architecture uninterrupted — a cross-check that the
+  cache/bloom machinery itself preserves semantics (ideal is a
+  measurement device, not crash-consistent, so it serves as the
+  continuously-powered baseline rather than an injection target);
+* **nvmr** and **clank** under the adversarial schedule, alternating
+  the jit/watchdog policies and the fast/reference engines, with the
+  :class:`~repro.verify.oracles.CrashConsistencyMonitor` installed;
+* periodically, a **differential** run — the same nvmr case on both
+  engines, whose entire RunResult must match bit for bit — and an
+  **exhaustive sweep** of single-fault schedules over an instruction
+  window.
+
+On failure the harness *shrinks*: first the schedule (empty, then
+single-fault, then greedy removal), then the program (iteration
+reduction and ddmin-style unit removal), re-running the failing
+configuration each time, and writes a replayable ``artifacts/repro_*.s``
+reproducer with the full configuration in its metadata header.
+"""
+
+import json
+import os
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.asm import assemble
+from repro.energy.faultinject import AdversarialSource
+from repro.persist.checker import ViolationRecord
+from repro.sim.platform import Platform, PlatformConfig, SimulationError
+from repro.sim.reference import run_reference
+from repro.verify.oracles import (
+    CrashConsistencyMonitor,
+    InvariantViolation,
+    check_final_state,
+)
+from repro.verify.progen import generate_asm_spec, generate_minicc_spec
+
+#: Big enough that the capacitor never browns out on its own: failures
+#: come only from the injected schedule.
+_INJECTOR_CAPACITOR_NJ = 1e9
+#: Bound for one intermittent run (generated programs retire ~1e3-1e4).
+_MAX_STEPS = 400_000
+_REFERENCE_MAX_STEPS = 500_000
+
+#: Structure rotation: tiny caches/tables force evictions, structural
+#: backups, reclamation and free-list churn on small programs.
+_STRUCTURES = (
+    {},
+    dict(cache_size=64, cache_assoc=2, mtc_entries=8, mtc_assoc=2,
+         map_table_entries=16, free_list_size=6),
+    dict(cache_size=32, cache_assoc=1, mtc_entries=4, mtc_assoc=2,
+         map_table_entries=3),
+    dict(cache_size=64, cache_assoc=2, map_table_entries=4, reclaim=False),
+)
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """One (architecture, policy, engine, schedule, structures) cell."""
+
+    arch: str
+    policy: str
+    fast: bool
+    schedule: tuple = ()
+    structures: dict = field(default_factory=dict)
+
+    @property
+    def engine(self):
+        return "fast" if self.fast else "reference"
+
+
+@dataclass
+class FuzzFailure:
+    """One confirmed oracle failure, with its shrunk reproducer."""
+
+    case: int
+    seed: int
+    plan: RunPlan
+    record: ViolationRecord
+    spec: object
+    shrunk_spec: object = None
+    shrunk_schedule: tuple = None
+    shrunk_record: ViolationRecord = None
+    reproducer: str = None
+    instructions: int = None
+
+    def summary(self):
+        where = f"case {self.case} [{self.plan.arch}/{self.plan.policy}/{self.plan.engine}]"
+        size = (
+            f", shrunk to {self.instructions} instructions"
+            if self.instructions is not None
+            else ""
+        )
+        return f"{where}: {self.record.kind}: {self.record.detail}{size}"
+
+
+@dataclass
+class FuzzSummary:
+    """Outcome of a :func:`run_fuzz` campaign."""
+
+    cases: int
+    runs: int
+    failures: list
+
+    @property
+    def ok(self):
+        return not self.failures
+
+
+def _make_config(plan):
+    return PlatformConfig(
+        arch=plan.arch,
+        policy=plan.policy,
+        capacitor_energy=_INJECTOR_CAPACITOR_NJ,
+        watchdog_period=700,
+        max_steps=_MAX_STEPS,
+        fast=plan.fast,
+        **plan.structures,
+    )
+
+
+def run_single(program, plan, expected, base, words):
+    """Run one plan; returns a :class:`ViolationRecord` or None.
+
+    The monitor is installed on every injection target; ``ideal`` runs
+    bare (it is not crash-consistent by design and only ever runs
+    uninterrupted, as the baseline cross-check).
+    """
+    platform = Platform(
+        program,
+        _make_config(plan),
+        trace=AdversarialSource(plan.schedule),
+        benchmark_name="verify-fuzz",
+    )
+    if plan.arch != "ideal":
+        CrashConsistencyMonitor(platform, base, words)
+    try:
+        platform.run()
+    except InvariantViolation as exc:
+        return exc.record
+    except SimulationError as exc:
+        return ViolationRecord(kind="no-progress", detail=str(exc))
+    return check_final_state(platform, base, expected)
+
+
+def run_differential(program, plan, expected, base, words):
+    """Run one plan on both engines; any observable divergence fails.
+
+    The full RunResult (energy floats bit for bit, every counter), the
+    event-log length and every final NVM word must match.
+    """
+    outcomes = []
+    for fast in (False, True):
+        engine_plan = replace(plan, fast=fast)
+        platform = Platform(
+            program,
+            _make_config(engine_plan),
+            trace=AdversarialSource(plan.schedule),
+            benchmark_name="verify-fuzz",
+        )
+        CrashConsistencyMonitor(platform, base, words)
+        try:
+            result = platform.run()
+        except InvariantViolation as exc:
+            return exc.record
+        except SimulationError as exc:
+            return ViolationRecord(kind="no-progress", detail=str(exc))
+        record = check_final_state(platform, base, expected)
+        if record is not None:
+            return record
+        outcomes.append((result, platform))
+    (ref_result, ref_platform), (fast_result, fast_platform) = outcomes
+    for name in ref_result.__dataclass_fields__:
+        if getattr(fast_result, name) != getattr(ref_result, name):
+            return ViolationRecord(
+                kind="fastpath-divergence",
+                detail=(
+                    f"RunResult.{name} diverges under injection: "
+                    f"reference={getattr(ref_result, name)!r} "
+                    f"fast={getattr(fast_result, name)!r}"
+                ),
+            )
+    if len(fast_platform.events) != len(ref_platform.events):
+        return ViolationRecord(
+            kind="fastpath-divergence",
+            detail="platform event-log length diverges between engines",
+        )
+    if fast_platform.nvm._words != ref_platform.nvm._words:
+        return ViolationRecord(
+            kind="fastpath-divergence",
+            detail="final raw NVM image diverges between engines",
+        )
+    return None
+
+
+# --------------------------------------------------------------- cases
+def _random_schedule(rng, reference_instructions):
+    """A small adversarial schedule biased at plausible boundaries."""
+    horizon = max(2, reference_instructions)
+    faults = []
+    for _ in range(rng.randrange(1, 4)):
+        faults.append(("step", rng.randrange(1, horizon + 1)))
+    if rng.random() < 0.5:
+        faults.append(("backup", rng.randrange(1, 5)))
+    if rng.random() < 0.35:
+        faults.append(("restore", rng.randrange(1, 3)))
+    return tuple(sorted(set(faults)))
+
+
+def _case_plans(case, rng, schedule):
+    """The run matrix for one case (ideal baseline + injected targets)."""
+    structures = dict(_STRUCTURES[case % len(_STRUCTURES)])
+    nvmr_policy, clank_policy = (
+        ("watchdog", "jit") if case % 2 == 0 else ("jit", "watchdog")
+    )
+    nvmr_fast = case % 2 == 0
+    plans = [
+        RunPlan("ideal", "watchdog", fast=not nvmr_fast),
+        RunPlan("nvmr", nvmr_policy, nvmr_fast, schedule, structures),
+        RunPlan(
+            "clank",
+            clank_policy,
+            not nvmr_fast,
+            _random_schedule(rng, max(2, len(schedule)) * 50),
+            {k: v for k, v in structures.items()
+             if k in ("cache_size", "cache_assoc")},
+        ),
+    ]
+    return plans
+
+
+def run_case(case, seed):
+    """Run one fuzz case; returns (runs_performed, failure-or-None)."""
+    rng = random.Random((seed << 24) ^ (case * 0x9E3779B1) & 0xFFFFFFFF)
+    if case % 4 == 3:
+        spec = generate_minicc_spec(rng.randrange(1 << 30))
+    else:
+        spec = generate_asm_spec(rng.randrange(1 << 30))
+    program = spec.program()
+    reference = run_reference(program, max_steps=_REFERENCE_MAX_STEPS)
+    base, words = spec.tracked(program)
+    expected = reference.words_at(base, words)
+    schedule = _random_schedule(rng, reference.instructions)
+
+    runs = 0
+    for plan in _case_plans(case, rng, schedule):
+        runs += 1
+        record = run_single(program, plan, expected, base, words)
+        if record is not None:
+            return runs, FuzzFailure(case, seed, plan, record, spec)
+
+    structures = dict(_STRUCTURES[case % len(_STRUCTURES)])
+    if case % 8 == 0:
+        # Differential: same schedule, both engines, full bit-identity.
+        plan = RunPlan("nvmr", "watchdog", True, schedule, structures)
+        runs += 2
+        record = run_differential(program, plan, expected, base, words)
+        if record is not None:
+            return runs, FuzzFailure(case, seed, plan, record, spec)
+    if case % 16 == 4:
+        # Exhaustive single-fault sweep over an instruction window.
+        start = rng.randrange(1, max(2, reference.instructions))
+        for n in range(start, start + 8):
+            plan = RunPlan(
+                "nvmr", "watchdog", case % 2 == 0, (("step", n),), structures
+            )
+            runs += 1
+            record = run_single(program, plan, expected, base, words)
+            if record is not None:
+                return runs, FuzzFailure(case, seed, plan, record, spec)
+    return runs, None
+
+
+# ------------------------------------------------------------- shrinking
+def shrink_failure(failure, budget=250):
+    """Minimize the failing (program, schedule) pair.
+
+    Re-runs the exact failing configuration after each candidate edit;
+    a candidate is kept only if *some* oracle still fails.  ``budget``
+    bounds the number of re-runs so shrinking always terminates fast.
+    """
+    spec = failure.spec
+    plan = failure.plan
+    program_cache = {}
+    remaining = [budget]
+
+    def attempt(candidate_spec, schedule):
+        if remaining[0] <= 0:
+            return None
+        remaining[0] -= 1
+        key = (candidate_spec, schedule)
+        if key in program_cache:
+            return program_cache[key]
+        try:
+            program = candidate_spec.program()
+            reference = run_reference(program, max_steps=_REFERENCE_MAX_STEPS)
+            base, words = candidate_spec.tracked(program)
+            expected = reference.words_at(base, words)
+            record = run_single(
+                program, replace(plan, schedule=schedule), expected, base, words
+            )
+        except Exception:
+            record = None  # a candidate that errors out is not a shrink
+        program_cache[key] = record
+        return record
+
+    schedule = tuple(plan.schedule)
+    best_record = failure.record
+
+    # --- schedule minimization: empty, single fault, greedy removal
+    record = attempt(spec, ())
+    if record is not None:
+        schedule, best_record = (), record
+    elif len(schedule) > 1:
+        for fault in schedule:
+            record = attempt(spec, (fault,))
+            if record is not None:
+                schedule, best_record = (fault,), record
+                break
+        else:
+            keep = list(schedule)
+            i = 0
+            while i < len(keep):
+                candidate = tuple(keep[:i] + keep[i + 1 :])
+                record = attempt(spec, candidate) if candidate else None
+                if record is not None:
+                    keep, best_record = list(candidate), record
+                else:
+                    i += 1
+            schedule = tuple(keep)
+
+    # --- program minimization: iterations first (largest win), then
+    # ddmin-style unit removal, repeated to fixpoint.
+    changed = True
+    while changed and remaining[0] > 0:
+        changed = False
+        for iterations in (1, 2, 4):
+            if iterations < spec.iterations:
+                candidate = spec.with_iterations(iterations)
+                record = attempt(candidate, schedule)
+                if record is not None:
+                    spec, best_record, changed = candidate, record, True
+                    break
+        chunk = max(1, len(spec.units) // 2)
+        while chunk >= 1 and remaining[0] > 0:
+            i = 0
+            while i < len(spec.units):
+                units = list(spec.units)
+                candidate_units = units[:i] + units[i + chunk :]
+                if candidate_units:
+                    candidate = spec.with_units(tuple(candidate_units))
+                    record = attempt(candidate, schedule)
+                    if record is not None:
+                        spec, best_record, changed = candidate, record, True
+                        continue  # re-test at the same position
+                i += chunk
+            chunk //= 2
+
+    failure.shrunk_spec = spec
+    failure.shrunk_schedule = schedule
+    failure.shrunk_record = best_record
+    failure.instructions = len(spec.program().instructions)
+    return failure
+
+
+# ------------------------------------------------------------ reproducers
+_META_PREFIX = "; verify-fuzz-meta: "
+
+
+def write_reproducer(failure, directory="artifacts"):
+    """Write the shrunk failure as a replayable ``repro_*.s`` file."""
+    os.makedirs(directory, exist_ok=True)
+    spec = failure.shrunk_spec or failure.spec
+    schedule = (
+        failure.shrunk_schedule
+        if failure.shrunk_schedule is not None
+        else failure.plan.schedule
+    )
+    record = failure.shrunk_record or failure.record
+    meta = {
+        "case": failure.case,
+        "seed": failure.seed,
+        "arch": failure.plan.arch,
+        "policy": failure.plan.policy,
+        "engine": failure.plan.engine,
+        "structures": failure.plan.structures,
+        "schedule": [list(fault) for fault in schedule],
+        "tracked": list(spec.tracked(spec.program())),
+        "oracle": record.kind,
+        "detail": record.detail,
+        "generator": spec.describe(),
+    }
+    if spec.kind == "minicc":
+        body = spec.lowered_asm()
+        source_comment = "".join(
+            f"; mini-C| {line}\n" for line in spec.render().splitlines()
+        )
+    else:
+        body = spec.render()
+        source_comment = ""
+    path = os.path.join(
+        directory, f"repro_{failure.seed}_{failure.case}_{failure.plan.arch}.s"
+    )
+    with open(path, "w") as handle:
+        handle.write("; crash-consistency fuzzer reproducer\n")
+        handle.write(_META_PREFIX + json.dumps(meta) + "\n")
+        handle.write(source_comment)
+        handle.write(body)
+        if not body.endswith("\n"):
+            handle.write("\n")
+    failure.reproducer = path
+    return path
+
+
+def replay_reproducer(path):
+    """Re-run a reproducer file; returns (meta, ViolationRecord-or-None)."""
+    with open(path) as handle:
+        text = handle.read()
+    meta = None
+    for line in text.splitlines():
+        if line.startswith(_META_PREFIX):
+            meta = json.loads(line[len(_META_PREFIX) :])
+            break
+    if meta is None:
+        raise ValueError(f"{path}: missing '{_META_PREFIX.strip()}' header")
+    program = assemble(text)
+    plan = RunPlan(
+        arch=meta["arch"],
+        policy=meta["policy"],
+        fast=meta["engine"] == "fast",
+        schedule=tuple(tuple(fault) for fault in meta["schedule"]),
+        structures=dict(meta["structures"]),
+    )
+    base, words = meta["tracked"]
+    reference = run_reference(program, max_steps=_REFERENCE_MAX_STEPS)
+    expected = reference.words_at(base, words)
+    return meta, run_single(program, plan, expected, base, words)
+
+
+# -------------------------------------------------------------- campaign
+def run_fuzz(
+    cases=200,
+    seed=0,
+    artifacts_dir="artifacts",
+    max_failures=5,
+    shrink=True,
+    progress=None,
+):
+    """Run a fuzzing campaign; returns a :class:`FuzzSummary`."""
+    failures = []
+    total_runs = 0
+    for case in range(cases):
+        runs, failure = run_case(case, seed)
+        total_runs += runs
+        if failure is not None:
+            if shrink:
+                shrink_failure(failure)
+            write_reproducer(failure, artifacts_dir)
+            failures.append(failure)
+            if progress:
+                progress(f"FAIL {failure.summary()} -> {failure.reproducer}")
+            if len(failures) >= max_failures:
+                break
+        elif progress and (case + 1) % 50 == 0:
+            progress(f"{case + 1}/{cases} cases clean ({total_runs} runs)")
+    return FuzzSummary(cases=case + 1 if cases else 0, runs=total_runs,
+                       failures=failures)

@@ -1,0 +1,330 @@
+"""Architectural invariant oracles for the crash-consistency fuzzer.
+
+Three oracle families, all reporting structured
+:class:`~repro.persist.checker.ViolationRecord` findings:
+
+**Final state** (:func:`check_final_state`) — after the run completes,
+every architecturally-visible word (read through the committed
+renaming indirection) must equal the uninterrupted reference run's.
+
+**Structural invariants** (:func:`check_nvmr_structures`) — at every
+commit point the renaming state must be conserved: committed mappings
+are distinct reserved-region addresses, the free list holds no
+duplicates and nothing that is also committed, and every reserved
+mapping is accounted for (``free + committed == total``, i.e. no leak
+and no double-free).
+
+**Re-execution safety** (:class:`CrashConsistencyMonitor`) — a
+read-dominated (idempotency-violating) dirty eviction must never change
+the *committed* view of memory: a re-executed section would observe the
+violated-then-persisted store.  The monitor keeps a shadow of the
+committed image, updated only at legal mutation points (backups and
+write-dominated in-place persists), and checks it at every violation
+eviction and after every restore.
+
+The monitor hooks ``backup`` / ``restore`` / ``_handle_dirty_eviction``
+as instance attributes, which both the reference interpreter and the
+fast-path engine dispatch through — so the oracles see identical events
+on either engine.
+"""
+
+from repro.persist.checker import ViolationRecord
+
+
+class InvariantViolation(AssertionError):
+    """An architectural invariant was broken during a monitored run."""
+
+    def __init__(self, record):
+        self.record = record
+        super().__init__(record.detail)
+
+
+# ------------------------------------------------------------ structural
+def check_nvmr_structures(arch, committed=False):
+    """Return :class:`ViolationRecord`\\ s for broken renaming state.
+
+    ``committed=True`` audits the state a power failure would restore
+    (committed free-list window) instead of the live one; the map table
+    needs no distinction — it only ever holds committed state.
+    """
+    records = []
+    reserved_base = arch.layout.reserved_base
+    mappings = [mapping for _tag, mapping in arch.map_table.items()]
+
+    low = [m for m in mappings if m < reserved_base]
+    if low:
+        records.append(
+            ViolationRecord(
+                kind="map-table",
+                detail=f"committed mapping outside reserved region: {low[0]:#x}",
+                address=low[0],
+            )
+        )
+    if len(set(mappings)) != len(mappings):
+        seen, dup = set(), None
+        for m in mappings:
+            if m in seen:
+                dup = m
+                break
+            seen.add(m)
+        records.append(
+            ViolationRecord(
+                kind="map-table",
+                detail=f"mapping {dup:#x} committed for two different blocks",
+                address=dup,
+            )
+        )
+
+    free = (
+        arch.free_list.committed_contents()
+        if committed
+        else arch.free_list.contents()
+    )
+    if len(set(free)) != len(free):
+        seen, dup = set(), None
+        for m in free:
+            if m in seen:
+                dup = m
+                break
+            seen.add(m)
+        records.append(
+            ViolationRecord(
+                kind="free-list",
+                detail=f"free-list double-free: mapping {dup:#x} listed twice",
+                address=dup,
+            )
+        )
+    overlap = set(free) & set(mappings)
+    if overlap:
+        addr = min(overlap)
+        records.append(
+            ViolationRecord(
+                kind="free-list",
+                detail=(
+                    f"mapping {addr:#x} is both committed in the map table "
+                    "and available on the free list"
+                ),
+                address=addr,
+            )
+        )
+    total = arch.free_list.size
+    if len(free) + len(mappings) != total:
+        records.append(
+            ViolationRecord(
+                kind="map-leak",
+                detail=(
+                    f"reserved-mapping conservation broken: {len(free)} free "
+                    f"+ {len(mappings)} committed != {total} total "
+                    "(leaked or duplicated mapping)"
+                ),
+            )
+        )
+    return records
+
+
+# ------------------------------------------------------------ final state
+def check_final_state(platform, base, expected):
+    """Compare the committed view of ``[base, ...)`` with ``expected``.
+
+    Returns a :class:`ViolationRecord` for the first mismatching word,
+    or None when the state matches the uninterrupted run.
+    """
+    got = [platform.read_word(base + 4 * i) for i in range(len(expected))]
+    if got == expected:
+        return None
+    for i, (have, want) in enumerate(zip(got, expected)):
+        if have != want:
+            return ViolationRecord(
+                kind="final-state",
+                detail=(
+                    f"final NVM word at {base + 4 * i:#x} is {have:#x}, "
+                    f"uninterrupted run has {want:#x}"
+                ),
+                address=base + 4 * i,
+            )
+    raise AssertionError("unreachable: lists differ but no word does")
+
+
+# ---------------------------------------------------------------- monitor
+class CrashConsistencyMonitor:
+    """Watches one platform run, raising :class:`InvariantViolation`
+    the moment an invariant breaks (fail fast — the harness re-runs
+    during shrinking anyway).
+
+    Tracks the committed view of ``words`` words starting at ``base``
+    (the generated program's data region).  Install after constructing
+    the Platform and before ``run()``.
+    """
+
+    def __init__(self, platform, base, words):
+        self.platform = platform
+        self.arch = platform.arch
+        self.base = base
+        self.words = words
+        self.records = []
+        self.backups_observed = 0
+        self.restores_observed = 0
+        self._epoch = 0
+        self._is_nvmr = hasattr(self.arch, "map_table")
+        cache = getattr(self.arch, "cache", None)
+        self._block_size = cache.block_size if cache is not None else None
+        self._shadow = None
+        self._install()
+        self._refresh_shadow()
+
+    # ------------------------------------------------------------ hooks
+    def _install(self):
+        arch = self.arch
+        # arch.backup is already the platform's recording wrapper (and
+        # the injector's mid-backup hook); chaining after it means the
+        # checks run only for *successful* backups.
+        original_backup = arch.backup
+
+        def checked_backup(reason):
+            original_backup(reason)
+            self._after_backup()
+
+        arch.backup = checked_backup
+
+        if self._block_size is not None:
+            original_eviction = arch._handle_dirty_eviction
+
+            def watched_eviction(line):
+                block = line.block_addr
+                composite = line.meta.composite if line.meta is not None else 0
+                original_eviction(line)
+                self._after_eviction(block, composite)
+
+            arch._handle_dirty_eviction = watched_eviction
+
+        original_restore = arch.restore
+
+        def checked_restore():
+            original_restore()
+            self._after_restore()
+
+        arch.restore = checked_restore
+
+    # ----------------------------------------------------------- shadow
+    def _committed_view(self, start=None, count=None):
+        read = self.arch.debug_read_word
+        if start is None:
+            start, count = self.base, self.words
+        return [read(start + 4 * i) for i in range(count)]
+
+    def _refresh_shadow(self):
+        self._shadow = self._committed_view()
+
+    def _tracked_span(self, block_addr):
+        """Word-index span of ``block_addr``'s overlap with the tracked
+        region, or None when disjoint."""
+        lo = max(block_addr, self.base)
+        hi = min(block_addr + self._block_size, self.base + 4 * self.words)
+        if lo >= hi:
+            return None
+        return (lo - self.base) // 4, (hi - self.base) // 4
+
+    # ------------------------------------------------------------ fails
+    def _fail(self, record):
+        self.records.append(record)
+        raise InvariantViolation(record)
+
+    def _pc(self):
+        core = getattr(self.platform, "core", None)
+        return getattr(getattr(core, "rf", None), "pc", None)
+
+    # ----------------------------------------------------------- events
+    def _after_backup(self):
+        self.backups_observed += 1
+        self._epoch += 1
+        self._refresh_shadow()
+        arch = self.arch
+        if not self._is_nvmr:
+            return
+        if arch.mtc.dirty_entries():
+            entry = arch.mtc.dirty_entries()[0]
+            self._fail(
+                ViolationRecord(
+                    kind="mtc-dirty",
+                    detail=(
+                        f"dirty MTC entry for block {entry.tag:#x} survived "
+                        "a backup (stale NVM map table)"
+                    ),
+                    pc=self._pc(),
+                    address=entry.tag,
+                    epoch=self._epoch,
+                )
+            )
+        self._fail_structural(check_nvmr_structures(arch))
+
+    def _fail_structural(self, findings):
+        """Attach run context to structural findings and raise on the
+        first one (later ones are kept in ``records`` for reporting)."""
+        if not findings:
+            return
+        contextual = [
+            ViolationRecord(
+                kind=record.kind,
+                detail=record.detail,
+                pc=self._pc(),
+                address=record.address,
+                epoch=self._epoch,
+            )
+            for record in findings
+        ]
+        self.records.extend(contextual[1:])
+        self._fail(contextual[0])
+
+    def _after_eviction(self, block_addr, composite):
+        span = self._tracked_span(block_addr)
+        if span is None:
+            return
+        lo, hi = span
+        view = self._committed_view(self.base + 4 * lo, hi - lo)
+        if composite:
+            # Read-dominated dirty eviction: the architecture claims it
+            # resolved the violation without touching committed state
+            # (rename, or a backup — which refreshed the shadow).
+            for i, (have, had) in enumerate(zip(view, self._shadow[lo:hi])):
+                if have != had:
+                    self._fail(
+                        ViolationRecord(
+                            kind="violated-persist",
+                            detail=(
+                                "read-dominated dirty eviction changed the "
+                                f"committed word at {self.base + 4 * (lo + i):#x} "
+                                f"({had:#x} -> {have:#x}): a re-executed section "
+                                "would observe the violated store"
+                            ),
+                            pc=self._pc(),
+                            address=self.base + 4 * (lo + i),
+                            epoch=self._epoch,
+                        )
+                    )
+        else:
+            # Write-dominated in-place persist: a legal committed-image
+            # mutation; fold it into the shadow.
+            self._shadow[lo:hi] = view
+
+    def _after_restore(self):
+        self.restores_observed += 1
+        view = self._committed_view()
+        for i, (have, had) in enumerate(zip(view, self._shadow)):
+            if have != had:
+                self._fail(
+                    ViolationRecord(
+                        kind="violated-persist",
+                        detail=(
+                            f"restored committed word at {self.base + 4 * i:#x} "
+                            f"differs from the last legal image "
+                            f"({had:#x} -> {have:#x})"
+                        ),
+                        pc=self._pc(),
+                        address=self.base + 4 * i,
+                        epoch=self._epoch,
+                    )
+                )
+        if self._is_nvmr:
+            self._fail_structural(
+                check_nvmr_structures(self.arch, committed=True)
+            )

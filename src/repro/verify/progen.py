@@ -1,0 +1,329 @@
+"""Seeded random program generation for the crash-consistency fuzzer.
+
+Two generators, both deterministic in their seed and both emitting a
+*structured*, shrinkable spec rather than raw text:
+
+* :class:`AsmSpec` — TinyRISC assembly hammering a small NVM array with
+  a bias toward WAR hazards (read-modify-writes), aliased load/store
+  pairs (the same address reached through immediate- and
+  register-indexed modes) and loops, the access patterns that stress
+  the map table, MTC and free list;
+* :class:`MiniccSpec` — mini-C sources lowered through the compiler, so
+  the fuzzer also exercises compiler-shaped address streams (frame
+  traffic, spills).
+
+Specs shrink by dropping *units* (ops / statements) and reducing loop
+iterations while staying assemblable, which is what lets the harness
+bisect a failure down to a minimal reproducer.
+
+:func:`format_program` renders an assembled program back to assembly
+text that reassembles to the identical instruction and data streams —
+the ``parse(format(p)) == p`` property the test suite checks.
+"""
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.asm import assemble
+from repro.isa.encoding import disassemble
+from repro.isa.instructions import BRANCH_OPS, Opcode
+
+#: Weighted op menu: (op kind, weight).  Read-modify-writes and aliased
+#: pairs dominate because they manufacture read-dominated dirty blocks —
+#: the hazard renaming exists to fix.
+_OP_WEIGHTS = (
+    ("rmw", 30),
+    ("aliased", 15),
+    ("copy", 20),
+    ("store", 15),
+    ("load", 20),
+)
+
+
+def _weighted_choice(rng, weights):
+    total = sum(w for _, w in weights)
+    roll = rng.randrange(total)
+    for name, weight in weights:
+        roll -= weight
+        if roll < 0:
+            return name
+    raise AssertionError("unreachable")
+
+
+@dataclass(frozen=True)
+class AsmSpec:
+    """A shrinkable description of one generated assembly program."""
+
+    ops: tuple  # op tuples, see _render_op
+    iterations: int
+    array_words: int
+    seed: int
+
+    kind = "asm"
+
+    @property
+    def units(self):
+        return self.ops
+
+    def with_units(self, units):
+        return replace(self, ops=tuple(units))
+
+    def with_iterations(self, iterations):
+        return replace(self, iterations=iterations)
+
+    # ---------------------------------------------------------- render
+    def _render_op(self, op):
+        kind = op[0]
+        if kind == "rmw":  # WAR hazard: load, modify, store same word
+            _, index, delta = op
+            return [
+                f"    ldr r0, [r4, #{index * 4}]",
+                f"    add r0, r0, #{delta}",
+                f"    str r0, [r4, #{index * 4}]",
+            ]
+        if kind == "aliased":  # same address via reg-indexed mode
+            _, index, delta = op
+            return [
+                f"    movw r7, #{index * 4}",
+                "    ldr r0, [r4, r7]",
+                f"    add r0, r0, #{delta}",
+                "    str r0, [r4, r7]",
+            ]
+        if kind == "copy":  # aliased load/store pair across slots
+            _, src, dst = op
+            return [
+                f"    ldr r0, [r4, #{src * 4}]",
+                f"    str r0, [r4, #{dst * 4}]",
+            ]
+        if kind == "store":
+            _, index, value = op
+            return [
+                f"    movw r0, #{value}",
+                "    add r0, r0, r5",
+                f"    str r0, [r4, #{index * 4}]",
+            ]
+        if kind == "load":
+            _, index = op
+            return [
+                f"    ldr r0, [r4, #{index * 4}]",
+                "    add r6, r6, r0",
+            ]
+        raise ValueError(f"unknown op: {op!r}")
+
+    def render(self):
+        """The program as assembly text (also the reproducer format)."""
+        lines = [
+            ".data",
+            f"arr: .space {self.array_words * 4}",
+            "marker: .word 0",
+            ".text",
+            "main:",
+            "    la r4, arr",
+            "    movw r6, #0",
+        ]
+        body = [line for op in self.ops for line in self._render_op(op)]
+        if self.iterations > 1:
+            lines += [f"    movw r5, #{self.iterations}", "outer:"]
+            lines += body
+            lines += [
+                "    sub r5, r5, #1",
+                "    cmp r5, #0",
+                "    bne outer",
+            ]
+        else:
+            lines += ["    movw r5, #1"]
+            lines += body
+        lines += [
+            "    la r0, marker",
+            "    str r6, [r0, #0]",
+            "    halt",
+        ]
+        return "\n".join(lines) + "\n"
+
+    def program(self):
+        return assemble(self.render())
+
+    def tracked(self, program):
+        """(base address, word count) of the region the oracles check."""
+        return program.symbol("arr"), self.array_words + 1  # + marker
+
+    def describe(self):
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "array_words": self.array_words,
+            "ops": len(self.ops),
+        }
+
+
+def generate_asm_spec(seed, ops=None, iterations=None, array_words=None):
+    """A seeded random :class:`AsmSpec` (small enough to run in ~ms)."""
+    rng = random.Random((seed & 0xFFFFFFFF) ^ 0x5EEDF00D)
+    if array_words is None:
+        array_words = rng.choice([8, 12, 16, 24])
+    if iterations is None:
+        iterations = rng.randrange(2, 10)
+    count = ops if ops is not None else rng.randrange(4, 11)
+    chosen = []
+    for _ in range(count):
+        kind = _weighted_choice(rng, _OP_WEIGHTS)
+        index = rng.randrange(array_words)
+        if kind in ("rmw", "aliased"):
+            chosen.append((kind, index, rng.randrange(1, 64)))
+        elif kind == "copy":
+            chosen.append((kind, index, rng.randrange(array_words)))
+        elif kind == "store":
+            chosen.append((kind, index, rng.randrange(0xFFFF)))
+        else:
+            chosen.append((kind, index))
+    return AsmSpec(
+        ops=tuple(chosen),
+        iterations=iterations,
+        array_words=array_words,
+        seed=seed,
+    )
+
+
+# ------------------------------------------------------------- mini-C
+@dataclass(frozen=True)
+class MiniccSpec:
+    """A shrinkable description of one generated mini-C program.
+
+    ``statements`` are independent single-line loop-body statements over
+    ``arr``, the scalar ``s`` and the loop counter ``i`` (all indices
+    are compile-time-safe expressions), so any subset still compiles.
+    """
+
+    statements: tuple  # of str
+    iterations: int
+    array_words: int
+    seed: int
+
+    kind = "minicc"
+
+    @property
+    def units(self):
+        return self.statements
+
+    def with_units(self, units):
+        return replace(self, statements=tuple(units))
+
+    def with_iterations(self, iterations):
+        return replace(self, iterations=iterations)
+
+    def render(self):
+        body = "\n        ".join(self.statements)
+        return (
+            f"int arr[{self.array_words + 1}];\n"
+            "int main() {\n"
+            "    int s = 3;\n"
+            "    int i;\n"
+            f"    for (i = 0; i < {self.iterations}; i++) {{\n"
+            f"        {body}\n"
+            "    }\n"
+            f"    arr[{self.array_words}] = s;\n"
+            "    return 0;\n"
+            "}\n"
+        )
+
+    def program(self):
+        from repro.minicc import compile_minic
+
+        return compile_minic(self.render())
+
+    def lowered_asm(self):
+        from repro.minicc import compile_to_asm
+
+        return compile_to_asm(self.render())
+
+    def tracked(self, program):
+        return program.symbol("g_arr"), self.array_words + 1
+
+    def describe(self):
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "array_words": self.array_words,
+            "ops": len(self.statements),
+        }
+
+
+def generate_minicc_spec(seed, statements=None, iterations=None, array_words=None):
+    """A seeded random :class:`MiniccSpec`."""
+    rng = random.Random((seed & 0xFFFFFFFF) ^ 0xC0FFEE)
+    if array_words is None:
+        array_words = rng.choice([6, 8, 12])
+    if iterations is None:
+        iterations = rng.randrange(2, 8)
+    count = statements if statements is not None else rng.randrange(3, 9)
+    n = array_words
+    chosen = []
+    for _ in range(count):
+        a, b = rng.randrange(n), rng.randrange(n)
+        c = rng.randrange(1, 50)
+        form = rng.randrange(6)
+        if form == 0:  # RMW: read-dominated hazard after a later store
+            chosen.append(f"arr[{a}] = arr[{a}] + {c};")
+        elif form == 1:  # cross-slot copy (aliased pair)
+            chosen.append(f"arr[{a}] = arr[{b}];")
+        elif form == 2:  # accumulate (pure read)
+            chosen.append(f"s = s + arr[{a}];")
+        elif form == 3:  # store derived from scalar state
+            chosen.append(f"arr[{a}] = s + {c};")
+        elif form == 4:  # loop-counter-spread RMW
+            chosen.append(
+                f"arr[(i + {a}) % {n}] = arr[(i + {a}) % {n}] + {c};"
+            )
+        else:  # conditional RMW
+            chosen.append(
+                f"if (s > {rng.randrange(0, 40)}) {{ arr[{b}] = arr[{b}] + {c}; }}"
+            )
+    return MiniccSpec(
+        statements=tuple(chosen),
+        iterations=iterations,
+        array_words=array_words,
+        seed=seed,
+    )
+
+
+# -------------------------------------------------- round-trip format
+def format_program(program):
+    """Render an assembled program as reassemblable text.
+
+    Branch targets become labels (the lone-instruction disassembly's
+    ``. + n`` form has no parser support), everything else is the
+    canonical disassembly; data is emitted as ``.word``/``.byte``
+    directives.  ``assemble(format_program(p))`` reproduces ``p``'s
+    instruction and data streams exactly.
+    """
+    instructions = program.instructions
+    targets = {}
+    for index, instr in enumerate(instructions):
+        if instr.op in BRANCH_OPS or instr.op is Opcode.BL:
+            target = index + 1 + instr.imm
+            targets.setdefault(target, f"L{target}")
+    lines = [".text", "main:"]
+    for index, instr in enumerate(instructions):
+        label = targets.get(index)
+        if label:
+            lines.append(f"{label}:")
+        if instr.op in BRANCH_OPS or instr.op is Opcode.BL:
+            mnemonic = disassemble(instr).split()[0]
+            lines.append(f"    {mnemonic} {targets[index + 1 + instr.imm]}")
+        else:
+            lines.append(f"    {disassemble(instr)}")
+    tail = targets.get(len(instructions))
+    if tail:
+        lines.append(f"{tail}:")
+    data = program.data
+    if data:
+        lines.append(".data")
+        whole = len(data) // 4 * 4
+        for offset in range(0, whole, 4):
+            word = int.from_bytes(data[offset : offset + 4], "little")
+            lines.append(f"    .word {word:#x}")
+        for offset in range(whole, len(data)):
+            lines.append(f"    .byte {data[offset]:#x}")
+    return "\n".join(lines) + "\n"

@@ -225,6 +225,93 @@ def test_free_list_conservation_property(data):
     assert sorted(remaining + committed_in_flight) == sorted(initial)
 
 
+def test_free_list_contents_views():
+    """The fuzzer's oracles audit the list through ``contents()`` /
+    ``committed_contents()``; the two must diverge exactly by the
+    uncommitted operations."""
+    fl = FreeList([1, 2, 3])
+    fl.commit()
+    assert fl.size == 3
+    assert fl.contents() == [1, 2, 3]
+    assert fl.committed_contents() == [1, 2, 3]
+    fl.pop()
+    assert fl.contents() == [2, 3]  # live view sees the pop...
+    assert fl.committed_contents() == [1, 2, 3]  # ...committed does not
+    fl.commit()
+    assert fl.committed_contents() == [2, 3]
+
+
+def test_free_list_exhaustion_and_recovery():
+    """Draining the list, committing, and returning mappings keeps the
+    population conserved — no slot is lost across the wrap."""
+    initial = [10, 20, 30, 40]
+    fl = FreeList(list(initial))
+    fl.commit()
+    drained = [fl.pop() for _ in range(4)]
+    assert fl.is_empty
+    with pytest.raises(RuntimeError):
+        fl.pop()
+    fl.commit()
+    for mapping in drained:
+        fl.push(mapping)
+    fl.commit()
+    assert fl.contents() == drained
+    assert sorted(fl.contents()) == sorted(initial)
+    assert fl.size == 4
+
+
+def test_rename_of_renamed_address_lifecycle():
+    """The composite path for an already-renamed block: its *old*
+    reserved mapping returns to the free list at the backup while the
+    new one leaves it, so conservation holds at every commit point."""
+    table = MapTable(4)
+    fl = FreeList([0x9000, 0x9010, 0x9020])
+    fl.commit()
+
+    def conserved():
+        return len(fl) + len(table) == fl.size
+
+    # First rename of home block 0x100.
+    first = fl.pop()
+    table.commit(0x100, first)
+    fl.commit()
+    assert conserved()
+
+    # Rename-of-renamed: a second violation on the same block pops a
+    # fresh mapping; the backup commits it and frees the old one.
+    second = fl.pop()
+    previous = table.commit(0x100, second)
+    assert previous == first
+    fl.commit()  # the pop becomes permanent...
+    fl.push(previous)  # ...and the displaced mapping returns
+    fl.commit_push()
+    assert conserved()
+    assert first in fl.contents()
+    assert second not in fl.contents()
+
+    # A power failure mid-third-rename reverts the uncommitted pop.
+    third = fl.pop()
+    assert third != second  # FIFO hands out the oldest free mapping
+    fl.restore()
+    assert conserved()
+    assert table.lookup(0x100) == second
+
+
+def test_rename_of_renamed_mtc_promotion():
+    """An MTC hit on an already-renamed block rewrites ``new`` without
+    touching ``old`` until the backup commits (the dirty flag carries
+    the distinction)."""
+    mtc = make_mtc()
+    entry = MapTableEntry(0x100, 0x9000, 0x9010, dirty=True)
+    mtc.insert(entry)
+    hit = mtc.lookup(0x100)
+    assert hit.old == 0x9000  # pre-backup: old mapping still live
+    hit.new = 0x9020  # a second rename reuses the dirty entry
+    mtc.clean_after_backup()
+    assert entry.old == 0x9020  # commit collapsed old onto the latest
+    assert not entry.dirty
+
+
 def test_lifo_free_list_pops_most_recent_push():
     fl = FreeList([1, 2, 3], mode="lifo")
     a = fl.pop()

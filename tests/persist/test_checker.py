@@ -135,3 +135,51 @@ def test_renaming_never_adds_constraints(events):
     renamed = PersistModel(events, renaming=True).constraints()
     # Renamed rfpo edges are a subset of in-place ones; spo/irpo vanish.
     assert {c for c in renamed} <= {c for c in in_place}
+
+
+# ---------------------------------------------------- structured records
+def test_irpo_violation_carries_structured_record():
+    """The exception is no longer a bare message: the record names the
+    relation, the offending event index, the address, and the epoch."""
+    model = PersistModel(build_trace(*FIGURE1))
+    checker = PersistScheduleChecker(model)
+    schedule, atomic = eager_schedule(model)
+    with pytest.raises(ScheduleViolation) as excinfo:
+        checker.check(schedule, atomic)
+    record = excinfo.value.record
+    assert record.kind == "ordering"
+    assert record.relation == "irpo"
+    assert record.pc == 1  # the ST A event
+    assert record.address == "A"
+    assert record.epoch == 0  # first intermittent section
+    assert ("st", 1) in (record.first, record.second)
+    # The message stays the record's detail (compat with match=...).
+    assert str(excinfo.value) == record.detail
+
+
+def test_missing_persist_record_locates_store():
+    model = PersistModel(build_trace("ST A", "BACKUP"))
+    checker = PersistScheduleChecker(model)
+    with pytest.raises(ScheduleViolation) as excinfo:
+        checker.check([("backup", 1)])
+    record = excinfo.value.record
+    assert record.kind == "missing"
+    assert record.pc == 0
+    assert record.address == "A"
+
+
+def test_duplicate_record_fields():
+    model = PersistModel(build_trace("ST A", "BACKUP"))
+    checker = PersistScheduleChecker(model)
+    with pytest.raises(ScheduleViolation) as excinfo:
+        checker.check([("st", 0), ("st", 0), ("backup", 1)])
+    record = excinfo.value.record
+    assert record.kind == "duplicate"
+    assert record.first == ("st", 0)
+
+
+def test_schedule_violation_still_accepts_plain_string():
+    """Compat path: raising with a bare message synthesizes a record."""
+    err = ScheduleViolation("legacy message")
+    assert str(err) == "legacy message"
+    assert err.record.detail == "legacy message"

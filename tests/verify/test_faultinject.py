@@ -1,0 +1,154 @@
+"""The adversarial fault injector: scheduling semantics and the
+platform seam.
+
+The key properties: each scheduled fault fires exactly once at exactly
+the named boundary, a mid-backup fault must not corrupt the previous
+checkpoint, and a machine recovering from *any* injected schedule must
+still produce the uninterrupted run's architectural memory."""
+
+import pytest
+
+from repro.energy.faultinject import (
+    AdversarialSource,
+    InjectedPowerFailure,
+    boundary_sweep,
+    step_sweep,
+)
+from repro.sim.platform import Platform, PlatformConfig
+from repro.sim.reference import run_reference
+from repro.verify.progen import generate_asm_spec
+
+BIG_CAP = 1e9  # never browns out on its own
+
+
+def make_platform(program, schedule, arch="nvmr", policy="watchdog", fast=False):
+    source = AdversarialSource(schedule)
+    config = PlatformConfig(
+        arch=arch,
+        policy=policy,
+        capacitor_energy=BIG_CAP,
+        watchdog_period=700,
+        max_steps=200_000,
+        fast=fast,
+    )
+    return Platform(program, config, trace=source, benchmark_name="inject"), source
+
+
+@pytest.fixture(scope="module")
+def generated():
+    spec = generate_asm_spec(3)
+    program = spec.program()
+    reference = run_reference(program, max_steps=200_000)
+    base, words = spec.tracked(program)
+    return program, base, reference.words_at(base, words)
+
+
+# -------------------------------------------------------------- schedule
+def test_schedule_normalizes_and_dedupes():
+    source = AdversarialSource(
+        [("backup", 2), ("step", 5), ("step", 5), ("restore", 1)]
+    )
+    assert source.schedule == (("backup", 2), ("restore", 1), ("step", 5))
+
+
+def test_rejects_bad_kind_and_ordinal():
+    with pytest.raises(ValueError, match="kind"):
+        AdversarialSource([("brownout", 1)])
+    with pytest.raises(ValueError, match="ordinal"):
+        AdversarialSource([("step", 0)])
+
+
+def test_step_fault_fires_exactly_once_at_named_boundary():
+    source = AdversarialSource([("step", 3)])
+    source.on_step()
+    source.on_step()
+    with pytest.raises(InjectedPowerFailure):
+        source.on_step()
+    assert source.injected == 1
+    for _ in range(10):
+        source.on_step()  # never refires
+    assert source.injected == 1
+    assert source.exhausted
+
+
+def test_backup_and_restore_ordinals():
+    source = AdversarialSource([("backup", 2), ("restore", 1)])
+    source.on_backup_attempt()  # first attempt survives
+    with pytest.raises(InjectedPowerFailure):
+        source.on_backup_attempt()
+    with pytest.raises(InjectedPowerFailure):
+        source.on_restore()
+    assert source.injected == 2
+
+
+def test_fresh_copy_is_pristine():
+    source = AdversarialSource([("step", 1)])
+    with pytest.raises(InjectedPowerFailure):
+        source.on_step()
+    copy = source.fresh()
+    assert copy.schedule == source.schedule
+    assert copy.steps == 0 and copy.injected == 0
+
+
+def test_sweep_builders():
+    sweep = step_sweep(5, 3)
+    assert [s.schedule for s in sweep] == [
+        (("step", 5),), (("step", 6),), (("step", 7),)
+    ]
+    mixed = boundary_sweep(step_window=(9,), backups=2, restores=1)
+    assert [s.schedule for s in mixed] == [
+        (("step", 9),),
+        (("backup", 1),),
+        (("backup", 2),),
+        (("restore", 1),),
+    ]
+
+
+# ------------------------------------------------------------- platform
+def test_step_fault_kills_platform_at_exact_instruction(generated):
+    program, base, expected = generated
+    platform, source = make_platform(program, [("step", 7)])
+    result = platform.run()
+    assert source.injected == 1
+    assert result.power_failures >= 1
+    assert result.restores >= 1
+    assert [platform.read_word(base + 4 * i) for i in range(len(expected))] == expected
+
+
+def test_mid_backup_fault_preserves_previous_checkpoint(generated):
+    """Failing a backup attempt before it mutates NVM must leave the
+    previous checkpoint restorable: the run recovers and completes."""
+    program, base, expected = generated
+    platform, source = make_platform(program, [("backup", 2)])
+    platform.run()
+    assert source.injected == 1
+    assert source.backup_attempts >= 2
+    assert [platform.read_word(base + 4 * i) for i in range(len(expected))] == expected
+
+
+def test_first_cycle_after_restore_fault(generated):
+    """Power dying before the first post-restore instruction retires is
+    the classic re-execution stress; the machine must still converge."""
+    program, base, expected = generated
+    platform, source = make_platform(
+        program, [("step", 5), ("restore", 1)]
+    )
+    platform.run()
+    assert source.restores_completed >= 1
+    assert source.injected == 2
+    assert [platform.read_word(base + 4 * i) for i in range(len(expected))] == expected
+
+
+@pytest.mark.parametrize("arch", ["nvmr", "clank"])
+@pytest.mark.parametrize("fast", [False, True])
+def test_exhaustive_window_recovers_everywhere(generated, arch, fast):
+    """Sweep a window of single-step faults: every boundary must
+    recover to the uninterrupted final state on both engines."""
+    program, base, expected = generated
+    for boundary in range(1, 25):
+        platform, _ = make_platform(
+            program, [("step", boundary)], arch=arch, fast=fast
+        )
+        platform.run()
+        got = [platform.read_word(base + 4 * i) for i in range(len(expected))]
+        assert got == expected, f"{arch} fast={fast} diverged at step {boundary}"

@@ -1,0 +1,148 @@
+"""The invariant oracles, checked against hand-broken renaming state.
+
+These tests manufacture each class of structural corruption directly in
+a real NvMR architecture instance and assert the oracle names it, then
+run a clean monitored execution to show the oracles stay silent on a
+correct machine."""
+
+import pytest
+
+from repro.sim.platform import Platform, PlatformConfig
+from repro.sim.reference import run_reference
+from repro.verify.oracles import (
+    CrashConsistencyMonitor,
+    InvariantViolation,
+    check_final_state,
+    check_nvmr_structures,
+)
+from repro.verify.progen import generate_asm_spec
+
+
+def make_nvmr_platform(program, **overrides):
+    config = PlatformConfig(
+        arch="nvmr",
+        policy="watchdog",
+        capacitor_energy=1e9,
+        watchdog_period=700,
+        max_steps=200_000,
+        **overrides,
+    )
+    return Platform(program, config, benchmark_name="oracles")
+
+
+@pytest.fixture
+def platform():
+    return make_nvmr_platform(generate_asm_spec(5).program())
+
+
+def kinds(records):
+    return [record.kind for record in records]
+
+
+# ----------------------------------------------------------- structural
+def test_clean_arch_has_no_findings(platform):
+    assert check_nvmr_structures(platform.arch) == []
+
+
+def test_leaked_mapping_breaks_conservation(platform):
+    arch = platform.arch
+    arch.free_list.pop()  # popped but never committed to the map table
+    findings = check_nvmr_structures(arch)
+    assert kinds(findings) == ["map-leak"]
+    assert "conservation" in findings[0].detail
+
+
+def test_double_committed_mapping_detected(platform):
+    arch = platform.arch
+    mapping = arch.free_list.pop()
+    arch.map_table.commit(0x100, mapping)
+    arch.map_table.commit(0x200, mapping)  # same reserved block twice
+    findings = check_nvmr_structures(arch)
+    assert "map-table" in kinds(findings)
+    dup = next(f for f in findings if f.kind == "map-table")
+    assert dup.address == mapping
+
+
+def test_mapping_outside_reserved_region_detected(platform):
+    arch = platform.arch
+    arch.free_list.pop()
+    arch.map_table.commit(0x100, 0x40)  # a home address, not a mapping
+    findings = check_nvmr_structures(arch)
+    assert "map-table" in kinds(findings)
+
+
+def test_free_and_committed_overlap_detected(platform):
+    arch = platform.arch
+    head = arch.free_list.contents()[0]
+    arch.map_table.commit(0x100, head)  # committed without popping
+    findings = check_nvmr_structures(arch)
+    assert "free-list" in kinds(findings)
+    overlap = next(f for f in findings if f.kind == "free-list")
+    assert overlap.address == head
+
+
+def test_committed_audit_uses_committed_window(platform):
+    """An uncommitted pop is invisible to the committed view: the state
+    a power failure would restore is still conserved."""
+    arch = platform.arch
+    arch.free_list.pop()
+    live = check_nvmr_structures(arch)
+    committed = check_nvmr_structures(arch, committed=True)
+    assert kinds(live) == ["map-leak"]
+    assert committed == []
+
+
+# ---------------------------------------------------------- final state
+def test_final_state_mismatch_names_word(platform):
+    platform.run()
+    base = platform.program.symbol("arr")
+    actual = [platform.read_word(base + 4 * i) for i in range(4)]
+    assert check_final_state(platform, base, actual) is None
+    wrong = list(actual)
+    wrong[2] ^= 0xFF
+    record = check_final_state(platform, base, wrong)
+    assert record.kind == "final-state"
+    assert record.address == base + 8
+
+
+# -------------------------------------------------------------- monitor
+def test_monitor_silent_on_clean_run():
+    spec = generate_asm_spec(5)
+    program = spec.program()
+    reference = run_reference(program, max_steps=200_000)
+    base, words = spec.tracked(program)
+    platform = make_nvmr_platform(program)
+    monitor = CrashConsistencyMonitor(platform, base, words)
+    platform.run()
+    assert monitor.records == []
+    assert monitor.backups_observed >= 1
+    assert check_final_state(
+        platform, base, reference.words_at(base, words)
+    ) is None
+
+
+def test_monitor_raises_on_violated_persist():
+    """Force the architecture to persist a read-dominated block in
+    place (the exact bug renaming exists to prevent): the monitor must
+    fail the eviction the moment the committed image changes."""
+    from repro.arch.nvmr import NvmrArchitecture
+
+    spec = generate_asm_spec(5)
+    program = spec.program()
+    base, words = spec.tracked(program)
+    platform = make_nvmr_platform(
+        program, cache_size=32, cache_assoc=1, mtc_entries=4, mtc_assoc=2,
+        map_table_entries=3,
+    )
+    monitor = CrashConsistencyMonitor(platform, base, words)
+    original = NvmrArchitecture._rename_and_persist
+    NvmrArchitecture._rename_and_persist = NvmrArchitecture._persist_to_latest
+    try:
+        with pytest.raises(InvariantViolation) as excinfo:
+            platform.run()
+    finally:
+        NvmrArchitecture._rename_and_persist = original
+    record = excinfo.value.record
+    assert record.kind == "violated-persist"
+    assert record.address is not None
+    assert monitor.records[-1] is record
