@@ -7,22 +7,16 @@ consequence: with cheap writes, backups are cheap, so NvMR's
 backup-avoidance buys almost nothing — renaming is a *flash-era*
 optimisation (and a wear-levelling one; FRAM endurance is also far
 higher).
+
+This harness is a view over the experiment registry (``ext_fram``
+spec).
 """
 
-from repro.analysis import extension_nvm_technology, format_series
-
-from conftest import run_once
+from conftest import run_spec
 
 
 def test_extension_nvm_technology(benchmark, settings, report):
-    series = run_once(benchmark, extension_nvm_technology, settings)
-    report(
-        "extension_nvm_technology",
-        format_series(
-            "Extension: NvMR % energy saved vs Clank, by NVM technology",
-            series,
-        ),
-    )
+    series = run_spec(benchmark, "ext_fram", settings, report)
     # The headline shape: NvMR's advantage is large on flash and nearly
     # vanishes on FRAM.
     assert series["flash"] > 10.0

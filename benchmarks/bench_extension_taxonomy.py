@@ -12,23 +12,16 @@ Hibernus is competitive only while the RAM footprint is small (its
 backup cost scales with the *used* RAM, not with what changed);
 task-boundary backups burn energy on checkpoints the energy supply
 never required — the paper's core critique of Figure 2b/2c systems.
+
+This harness is a view over the experiment registry (``ext_taxonomy``
+spec).
 """
 
-from repro.analysis import extension_taxonomy, format_matrix
-
-from conftest import run_once
+from conftest import run_spec
 
 
 def test_extension_taxonomy(benchmark, settings, report):
-    results = run_once(benchmark, extension_taxonomy, settings)
-    report(
-        "extension_taxonomy",
-        format_matrix(
-            "Extension: total energy (uJ) across Figure 2's design space",
-            results,
-            value_format="{:8.1f}",
-        ),
-    )
+    results = run_spec(benchmark, "ext_taxonomy", settings, report)
     nvmr = results["nvmr/jit (Fig 2d)"]["average"]
     # NvMR beats backup-per-violation, task boundaries, and the
     # original buffer-based design on average.

@@ -7,22 +7,16 @@ regress), ~9% under the watchdog timer (stringsearch/hist regress).
 Expected shape here: JIT > spendthrift > watchdog on average; the
 violation-heavy benchmarks (qsort, dwt, picojpeg, dijkstra, blowfish,
 hist) save the most; stringsearch ~ zero or slightly negative.
+
+This harness is a view over the experiment registry: the ``fig10``
+spec owns the job grid, the reduction and the rendering.
 """
 
-from repro.analysis import fig10_backup_schemes, format_matrix
-
-from conftest import run_once
+from conftest import run_spec
 
 
 def test_fig10_backup_schemes(benchmark, settings, report):
-    results = run_once(benchmark, fig10_backup_schemes, settings)
-    report(
-        "fig10_backup_schemes",
-        format_matrix(
-            "Figure 10: % energy saved, NvMR vs Clank, per backup scheme",
-            results,
-        ),
-    )
+    results = run_spec(benchmark, "fig10", settings, report)
     # Headline claim: NvMR saves substantial energy on average under JIT.
     assert results["jit"]["average"] > 10.0
     # JIT (the most aggressive scheme) beats the naive watchdog.

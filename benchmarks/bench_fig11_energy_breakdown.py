@@ -5,22 +5,15 @@ Clank's backup component is large for violation-heavy benchmarks; NvMR
 replaces it with small forward/backup overheads (renaming traffic), a
 few % of total; stringsearch is dominated by forward progress (~90%)
 and has little to gain.
+
+This harness is a view over the experiment registry (``fig11`` spec).
 """
 
-from repro.analysis import fig11_energy_breakdown, format_breakdowns
-
-from conftest import run_once
+from conftest import run_spec
 
 
 def test_fig11_energy_breakdown(benchmark, settings, report):
-    out = run_once(benchmark, fig11_energy_breakdown, settings)
-    report(
-        "fig11_energy_breakdown",
-        format_breakdowns(
-            "Figure 11: energy breakdown normalised to Clank's total",
-            out,
-        ),
-    )
+    out = run_spec(benchmark, "fig11", settings, report)
     for bench, per_arch in out.items():
         clank_total = sum(per_arch["clank"].values())
         nvmr_total = sum(per_arch["nvmr"].values())

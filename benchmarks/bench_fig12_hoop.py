@@ -4,22 +4,15 @@ Paper: NvMR saves ~40% on average vs HOOP under JIT and ~19.4% under
 the watchdog; HOOP wins only on the benchmarks with high store locality
 (stringsearch, picojpeg, basicmath), where its OOP buffer packs word
 updates into few slices.
+
+This harness is a view over the experiment registry (``fig12`` spec).
 """
 
-from repro.analysis import fig12_hoop, format_matrix
-
-from conftest import run_once
+from conftest import run_spec
 
 
 def test_fig12_hoop(benchmark, settings, report):
-    results = run_once(benchmark, fig12_hoop, settings)
-    report(
-        "fig12_hoop",
-        format_matrix(
-            "Figure 12: % energy saved, NvMR vs HOOP, per backup scheme",
-            results,
-        ),
-    )
+    results = run_spec(benchmark, "fig12", settings, report)
     # NvMR wins on average under JIT.
     assert results["jit"]["average"] > 0.0
     # And the advantage shrinks (or flips on some benchmarks) under the

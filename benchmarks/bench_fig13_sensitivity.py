@@ -7,43 +7,23 @@ Paper shapes:
   (c) growing the map table 1024 -> 8192 buys only ~1%;
   (d) savings grow with supercapacitor size, with diminishing returns
       (longer active periods -> more violations per section).
+
+Each panel is one registered spec (``fig13a`` .. ``fig13d``); the
+harness only asserts the reduced series' shape.
 """
 
-from repro.analysis import (
-    fig13a_mtc_size,
-    fig13b_mtc_assoc,
-    fig13c_map_table,
-    fig13d_capacitor,
-    format_series,
-)
-
-from conftest import run_once
+from conftest import run_spec
 
 
 def test_fig13a_mtc_size(benchmark, settings, report):
-    series = run_once(benchmark, fig13a_mtc_size, settings)
-    report(
-        "fig13a_mtc_size",
-        format_series(
-            "Figure 13a: % energy saved vs map-table-cache entries (assoc 2)",
-            series,
-        ),
-    )
+    series = run_spec(benchmark, "fig13a", settings, report)
     sizes = sorted(series)
     # Larger MTC must not hurt: the largest beats the smallest.
     assert series[sizes[-1]] >= series[sizes[0]] - 0.5
 
 
 def test_fig13b_mtc_assoc(benchmark, settings, report):
-    series = run_once(benchmark, fig13b_mtc_assoc, settings)
-    report(
-        "fig13b_mtc_assoc",
-        format_series(
-            "Figure 13b: % energy saved vs MTC associativity (32 entries; "
-            "32 = fully associative)",
-            series,
-        ),
-    )
+    series = run_spec(benchmark, "fig13b", settings, report)
     # Past associativity 4 the next doubling buys little (paper: ~0.2%
     # from 4 to fully associative; at our scaled working sets the
     # full-associativity endpoint gains a few % by eliminating conflict
@@ -54,27 +34,12 @@ def test_fig13b_mtc_assoc(benchmark, settings, report):
 
 
 def test_fig13c_map_table(benchmark, settings, report):
-    series = run_once(benchmark, fig13c_map_table, settings)
-    report(
-        "fig13c_map_table",
-        format_series(
-            "Figure 13c: % energy saved vs map-table entries",
-            series,
-        ),
-    )
+    series = run_spec(benchmark, "fig13c", settings, report)
     sizes = sorted(series)
     assert series[sizes[-1]] >= series[sizes[0]] - 0.5
 
 
 def test_fig13d_capacitor(benchmark, settings, report):
-    series = run_once(benchmark, fig13d_capacitor, settings)
-    report(
-        "fig13d_capacitor",
-        format_series(
-            "Figure 13d: % energy saved vs supercapacitor size",
-            series,
-            key_format="{}",
-        ),
-    )
+    series = run_spec(benchmark, "fig13d", settings, report)
     # Bigger capacitors -> longer sections -> more savings.
     assert series["100mF"] > series["500uF"]

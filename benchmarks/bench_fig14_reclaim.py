@@ -4,29 +4,18 @@ Paper: with the default 4096-entry map table reclaiming changes little
 on average (~1%; qsort +9%, dwt +1%, a few slightly negative) because
 the table rarely fills.  With a 1024-entry map table, reclaiming saves
 ~9% more than no-reclaim — that is the regime it exists for, so the
-harness also reproduces the small-table study from Section 6.4's text.
+harness also reproduces the small-table study from Section 6.4's text
+through a parameterised (unregistered) variant of the same spec.
 """
 
-from repro.analysis import fig14_reclaim, format_matrix
-from repro.analysis.experiments import ExperimentSettings
+from repro.analysis import ExperimentSettings
+from repro.analysis.experiments import fig14_spec
 
-from conftest import run_once
+from conftest import run_spec
 
 
 def test_fig14_reclaim_default_table(benchmark, settings, report):
-    out = run_once(benchmark, fig14_reclaim, settings)
-    rows = {
-        "reclaim": {bench: v["reclaim"] for bench, v in out.items()},
-        "no_reclaim": {bench: v["no_reclaim"] for bench, v in out.items()},
-    }
-    report(
-        "fig14_reclaim",
-        format_matrix(
-            "Figure 14: % energy saved vs Clank, with/without reclaim "
-            "(map table 4096)",
-            rows,
-        ),
-    )
+    out = run_spec(benchmark, "fig14", settings, report)
     # With a large map table, reclaiming must not hurt on average.
     assert out["average"]["reclaim"] >= out["average"]["no_reclaim"] - 1.5
 
@@ -40,18 +29,13 @@ def test_fig14_reclaim_small_table(benchmark, settings, report):
         benchmarks=settings.sweep_benchmarks,
         sweep_benchmarks=settings.sweep_benchmarks,
     )
-    out = run_once(benchmark, fig14_reclaim, small, 64)
-    rows = {
-        "reclaim": {bench: v["reclaim"] for bench, v in out.items()},
-        "no_reclaim": {bench: v["no_reclaim"] for bench, v in out.items()},
-    }
-    report(
-        "fig14_reclaim_small_table",
-        format_matrix(
-            "Section 6.4: % energy saved vs Clank with a small (64-entry) "
-            "map table",
-            rows,
-        ),
+    out = run_spec(
+        benchmark,
+        fig14_spec(map_table_entries=64),
+        small,
+        report,
+        archive=False,
+        name="fig14_small_table",
     )
     # When the table fills, reclaiming must win clearly.
     assert out["average"]["reclaim"] > out["average"]["no_reclaim"]

@@ -8,70 +8,36 @@
 * GBF-size ablation: Table 2 fixes 8 one-bit entries; smaller filters
   alias more and force conservative renames/backups.
 * Cache-size ablation: Table 2 fixes 256 B.
+* Free-list discipline: FIFO wear-levels the reserved region; LIFO
+  concentrates writes at equal energy.
+
+Each study is one registered spec (``footnote6``, ``ablation_gbf``,
+``ablation_cache``, ``ablation_free_list``).
 """
 
-from repro.analysis import (
-    ablation_cache_size,
-    ablation_gbf_bits,
-    footnote6_original_clank,
-    format_series,
-)
-
-from conftest import run_once
+from conftest import run_spec
 
 
 def test_footnote6_cached_clank_beats_original(benchmark, settings, report):
-    out = run_once(benchmark, footnote6_original_clank, settings)
-    report(
-        "footnote6_original_clank",
-        format_series(
-            "Footnote 6: % energy the cached Clank saves vs original Clank",
-            out,
-        ),
-    )
+    out = run_spec(benchmark, "footnote6", settings, report)
     # Direction: the cached version wins on every sweep benchmark.
     assert all(v > 0 for v in out.values())
 
 
 def test_ablation_gbf_bits(benchmark, settings, report):
-    series = run_once(benchmark, ablation_gbf_bits, settings)
-    report(
-        "ablation_gbf_bits",
-        format_series(
-            "Ablation: NvMR % energy saved vs Clank, by GBF size (bits)",
-            series,
-        ),
-    )
+    series = run_spec(benchmark, "ablation_gbf", settings, report)
     # The savings comparison is robust to GBF sizing: NvMR wins at
     # every size (aliasing hurts both architectures).
     assert all(v > 0 for v in series.values())
 
 
 def test_ablation_cache_size(benchmark, settings, report):
-    series = run_once(benchmark, ablation_cache_size, settings)
-    report(
-        "ablation_cache_size",
-        format_series(
-            "Ablation: NvMR % energy saved vs Clank, by data-cache size (B)",
-            series,
-        ),
-    )
+    series = run_spec(benchmark, "ablation_cache", settings, report)
     assert all(v > 0 for v in series.values())
 
 
 def test_ablation_free_list_discipline(benchmark, settings, report):
-    from repro.analysis import ablation_free_list_discipline
-
-    out = run_once(benchmark, ablation_free_list_discipline, settings)
-    lines = ["Ablation: free-list discipline (reserved-region endurance)",
-             "==========================================================="]
-    for mode, stats in out.items():
-        lines.append(
-            f"  {mode}: max reserved-region wear = "
-            f"{stats['max_reserved_wear']:.1f} writes, total energy = "
-            f"{stats['total_energy_uj']:.1f} uJ"
-        )
-    report("ablation_free_list", "\n".join(lines))
+    out = run_spec(benchmark, "ablation_free_list", settings, report)
     # The queue wear-levels; a stack concentrates writes.  Energy is
     # unchanged (it is purely an endurance decision).
     assert out["fifo"]["max_reserved_wear"] < out["lifo"]["max_reserved_wear"]

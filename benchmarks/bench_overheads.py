@@ -4,22 +4,16 @@ Paper: renaming+reclaiming energy ~3% of NvMR's total; 185x fewer
 backups on average; maximum per-location NVM write count reduced by
 80.8% vs Clank; map-table cache ~6% on-chip area overhead; reserved
 region ~6% of the 2 MB flash.
+
+This harness is a view over the experiment registry (``overheads``
+spec).
 """
 
-from repro.analysis import format_mapping, overheads_study
-
-from conftest import run_once
+from conftest import run_spec
 
 
 def test_overheads(benchmark, settings, report):
-    out = run_once(benchmark, overheads_study, settings)
-    report(
-        "overheads",
-        format_mapping(
-            "Section 6.5: NvMR overhead summary",
-            {k: f"{v:.2f}" for k, v in out.items()},
-        ),
-    )
+    out = run_spec(benchmark, "overheads", settings, report)
     # Wear: renaming spreads hot writes over the reserved region.
     assert out["max_wear_reduction_percent"] > 20.0
     # Backups drop by a large factor (paper: 185x; shape: >2x here).

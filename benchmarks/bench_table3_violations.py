@@ -5,23 +5,15 @@ to 2.87e6 (basicmath).  Our inputs are scaled for a cycle-level Python
 simulator, so absolute counts are smaller; the property that carries is
 that violation counts differ by orders of magnitude across benchmarks
 and predict where NvMR saves energy (Figure 10).
+
+This harness is a view over the experiment registry (``table3`` spec).
 """
 
-from repro.analysis import format_series, table3_violations
-
-from conftest import run_once
+from conftest import run_spec
 
 
 def test_table3_violations(benchmark, settings, report):
-    counts = run_once(benchmark, table3_violations, settings)
-    report(
-        "table3_violations",
-        format_series(
-            "Table 3: idempotency violations per benchmark (ideal arch, JIT)",
-            counts,
-            value_format="{:,.0f}",
-        ),
-    )
+    counts = run_spec(benchmark, "table3", settings, report)
     assert all(count >= 0 for count in counts.values())
     # Violation-heavy vs violation-light benchmarks must separate.
     assert counts["qsort"] > counts["basicmath"]

@@ -2,27 +2,17 @@
 
 These regenerate the configuration tables from the live defaults so the
 archived results always reflect what the other harnesses actually ran.
+Both are static specs in the experiment registry (no simulation jobs).
 """
 
-from repro.analysis import (
-    format_mapping,
-    table2_configuration,
-    table4_hoop_configuration,
-)
-
-from conftest import run_once
+from conftest import run_spec
 
 
-def test_table2_configuration(benchmark, report):
-    table = run_once(benchmark, table2_configuration)
-    report("table2_configuration", format_mapping("Table 2: system configuration", table))
+def test_table2_configuration(benchmark, settings, report):
+    table = run_spec(benchmark, "table2", settings, report)
     assert "512 entries" in table["Map Table Cache"]
 
 
-def test_table4_hoop_configuration(benchmark, report):
-    table = run_once(benchmark, table4_hoop_configuration)
-    report(
-        "table4_hoop_configuration",
-        format_mapping("Table 4: simplified HOOP configuration", table),
-    )
+def test_table4_hoop_configuration(benchmark, settings, report):
+    table = run_spec(benchmark, "table4", settings, report)
     assert "Infinite" in table["Mapping Table"]

@@ -45,3 +45,35 @@ def report():
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def run_spec(benchmark, experiment, settings, report=None, archive=True,
+             name=None):
+    """Run a registered experiment (or spec instance) through the
+    engine, under pytest-benchmark timing.
+
+    The engine renders with the spec's own renderer and archives both
+    the text table and the versioned JSON artifact under
+    ``benchmarks/results/`` (``archive=False`` for parameterised
+    variants that must not overwrite the registered result).  Returns
+    the reduced result for the harness's shape assertions.
+    """
+    from repro.analysis import engine
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    run = benchmark.pedantic(
+        engine.run_experiment,
+        args=(experiment,),
+        kwargs=dict(
+            settings=settings,
+            workers=1,
+            artifact_dir=RESULTS_DIR if archive else None,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    if report is not None:
+        if name is None:
+            name = experiment if isinstance(experiment, str) else experiment.id
+        report(name, run.rendered)
+    return run.result

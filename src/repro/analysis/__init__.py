@@ -1,18 +1,32 @@
-"""Experiment drivers and reporting for the paper's tables and figures.
+"""Experiment engine, drivers and reporting for the paper's results.
 
-Each ``fig*``/``table*`` function in :mod:`repro.analysis.experiments`
-regenerates one result from the paper's evaluation (Section 6) and
-returns plain data structures; :mod:`repro.analysis.reporting` renders
-them as text tables like the ones in EXPERIMENTS.md.
+One registry (:data:`repro.analysis.engine.EXPERIMENTS`) declares
+every table and figure of the evaluation as an
+:class:`~repro.analysis.engine.ExperimentSpec`; the engine derives job
+enumeration, parallel execution, sharding, caching and JSON artifacts
+from it, and :mod:`repro.analysis.render` renders results as the text
+tables recorded in EXPERIMENTS.md.  The historical per-experiment
+driver functions (``fig10_backup_schemes`` et al.) remain available as
+thin wrappers over the specs.
 """
 
-from repro.analysis.experiments import (
+from repro.analysis.engine import (
+    EXPERIMENTS,
     ExperimentSettings,
+    ExperimentSpec,
+    Job,
+    all_experiments,
+    cached_run,
+    clear_run_cache,
+    get_experiment,
+    load_artifact,
+    render_artifact,
+    run_experiment,
+)
+from repro.analysis.experiments import (
     ablation_cache_size,
     ablation_free_list_discipline,
     ablation_gbf_bits,
-    cached_run,
-    clear_run_cache,
     extension_nvm_technology,
     extension_taxonomy,
     fig10_backup_schemes,
@@ -30,24 +44,34 @@ from repro.analysis.experiments import (
     table3_violations,
     table4_hoop_configuration,
 )
-from repro.analysis.progress import report_progress, set_progress_handler
-from repro.analysis.report import generate_report, write_report
-from repro.analysis.timeline import render_timeline
-from repro.analysis.wear import WearProfile, gini_coefficient, wear_comparison, wear_profile
-from repro.analysis.reporting import (
+from repro.analysis.progress import (
+    console_progress,
+    report_progress,
+    set_progress_handler,
+)
+from repro.analysis.render import (
     format_breakdowns,
     format_mapping,
     format_matrix,
     format_series,
+    generate_report,
+    write_report,
 )
+from repro.analysis.timeline import render_timeline
+from repro.analysis.wear import WearProfile, gini_coefficient, wear_comparison, wear_profile
 
 __all__ = [
+    "EXPERIMENTS",
     "ExperimentSettings",
+    "ExperimentSpec",
+    "Job",
     "ablation_cache_size",
     "ablation_free_list_discipline",
     "ablation_gbf_bits",
+    "all_experiments",
     "cached_run",
     "clear_run_cache",
+    "console_progress",
     "extension_nvm_technology",
     "extension_taxonomy",
     "fig10_backup_schemes",
@@ -65,10 +89,14 @@ __all__ = [
     "format_series",
     "footnote6_original_clank",
     "generate_report",
-    "render_timeline",
-    "gini_coefficient",
+    "get_experiment",
+    "load_artifact",
     "overheads_study",
+    "render_artifact",
+    "render_timeline",
     "report_progress",
+    "run_experiment",
+    "gini_coefficient",
     "set_progress_handler",
     "table2_configuration",
     "table3_violations",

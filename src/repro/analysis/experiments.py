@@ -1,127 +1,57 @@
-"""Drivers that regenerate every table and figure of the evaluation.
+"""The paper's experiments, as declarative specs + legacy wrappers.
+
+Each table/figure of the evaluation is one
+:class:`~repro.analysis.engine.ExperimentSpec` built by a factory
+below and registered in the engine's single ``EXPERIMENTS`` registry
+(in the paper's presentation order).  The spec carries the job grid,
+the pure reduce over fetched run records, and the renderer; the engine
+(:mod:`repro.analysis.engine`) derives enumeration, parallel
+execution, sharding, caching and artifacts from it.
+
+The historical driver functions (``fig10_backup_schemes`` et al.) are
+kept as thin wrappers over the specs — same signatures, same return
+values — so existing callers and notebooks keep working.
 
 Scale control
 -------------
 The paper averages every result over 10 voltage traces and all ten
 benchmarks.  A cycle-level Python simulator cannot afford that for
-every sweep point by default, so each driver takes an
+every sweep point by default, so every entry point takes an
 :class:`ExperimentSettings` whose defaults are a documented compromise
 (fewer traces for the sensitivity sweeps, a violation-heavy benchmark
 subset for the structure sweeps).  Set the environment variable
 ``REPRO_FULL=1`` (or pass ``ExperimentSettings.full()``) to reproduce
 at the paper's full averaging scale.
 
-All drivers share a process-wide run cache: the Clank/JIT baseline, for
-instance, is reused across Figures 10, 13 and 14.
+All experiments share a process-wide run cache (plus the persistent
+disk layer): the Clank/JIT baseline, for instance, is reused across
+Figures 10, 13 and 14.
 """
 
-import os
-from dataclasses import dataclass, field, replace
-
-from repro.analysis import runcache
+from repro.analysis import engine
+from repro.analysis.engine import (  # noqa: F401  (re-exported legacy API)
+    ALL_BENCHMARKS,
+    SWEEP_BENCHMARKS,
+    ExperimentSettings,
+    ExperimentSpec,
+    Job,
+    _config_key,
+    _run_cache,
+    cached_run,
+    clear_run_cache,
+)
+from repro.analysis.render import (
+    format_breakdowns,
+    format_mapping,
+    format_matrix,
+    format_series,
+)
 from repro.energy.area import AreaModel
-from repro.energy.capacitor import CAPACITOR_PRESETS
-from repro.energy.traces import HarvestTrace
 from repro.sim.platform import PlatformConfig
-from repro.workloads import BENCHMARKS, run_workload
-
-ALL_BENCHMARKS = list(BENCHMARKS)
-
-#: Violation-heavy subset used for structure-sensitivity sweeps.
-SWEEP_BENCHMARKS = ["qsort", "dwt", "picojpeg", "blowfish"]
 
 
-def _full_mode():
-    return os.environ.get("REPRO_FULL", "") not in ("", "0")
-
-
-@dataclass
-class ExperimentSettings:
-    """How much averaging each experiment does."""
-
-    traces: int = 2
-    sweep_traces: int = 1
-    benchmarks: list = field(default_factory=lambda: list(ALL_BENCHMARKS))
-    sweep_benchmarks: list = field(default_factory=lambda: list(SWEEP_BENCHMARKS))
-
-    @classmethod
-    def default(cls):
-        return cls.full() if _full_mode() else cls()
-
-    @classmethod
-    def full(cls):
-        """The paper's averaging scale: 10 traces, all benchmarks."""
-        return cls(
-            traces=10,
-            sweep_traces=3,
-            benchmarks=list(ALL_BENCHMARKS),
-            sweep_benchmarks=list(ALL_BENCHMARKS),
-        )
-
-    @classmethod
-    def smoke(cls):
-        """Minimal settings for CI smoke tests."""
-        return cls(traces=1, sweep_traces=1, benchmarks=["qsort", "hist"],
-                   sweep_benchmarks=["qsort"])
-
-
-# ---------------------------------------------------------------- cache
-_run_cache = {}
-
-
-def _config_key(config):
-    return (
-        config.arch,
-        config.policy,
-        config.nvm_technology,
-        config.capacitor,
-        config.capacitor_energy,
-        config.cache_size,
-        config.cache_assoc,
-        config.block_size,
-        config.gbf_bits,
-        config.mtc_entries,
-        config.mtc_assoc,
-        config.map_table_entries,
-        config.free_list_size,
-        config.free_list_mode,
-        config.reclaim,
-        config.oop_buffer_entries,
-        config.oop_region_slots,
-        config.watchdog_period,
-    )
-
-
-def cached_run(benchmark, config, trace_seed):
-    """Run (or fetch) one benchmark/config/trace combination.
-
-    Two cache layers: the process-wide dict above, then the persistent
-    disk cache (:mod:`repro.analysis.runcache`) keyed by program
-    content, full config, trace seed and model version — so rerunning
-    an experiment script with unchanged inputs performs zero fresh
-    simulations even across process restarts.
-    """
-    config_key = _config_key(config)
-    key = (benchmark, config_key, trace_seed)
-    if key not in _run_cache:
-        result = runcache.fetch(benchmark, config_key, trace_seed)
-        if result is None:
-            result = run_workload(
-                benchmark,
-                config=replace(config),
-                trace=HarvestTrace(trace_seed),
-            )
-            runcache.store(benchmark, config_key, trace_seed, result)
-        _run_cache[key] = result
-    return _run_cache[key]
-
-
-def clear_run_cache(disk=False):
-    """Drop the in-process run cache; ``disk=True`` also deletes the
-    persistent entries under :func:`repro.analysis.runcache.cache_dir`."""
-    _run_cache.clear()
-    if disk:
-        runcache.clear_disk_cache()
+def _settings(settings):
+    return settings or ExperimentSettings.default()
 
 
 def _mean(values):
@@ -129,9 +59,9 @@ def _mean(values):
     return sum(values) / len(values) if values else 0.0
 
 
-def _avg_energy(benchmark, config, trace_seeds):
+def _avg_energy(fetch, benchmark, config, trace_seeds):
     return _mean(
-        cached_run(benchmark, config, seed).total_energy for seed in trace_seeds
+        fetch(benchmark, config, seed).total_energy for seed in trace_seeds
     )
 
 
@@ -179,40 +109,155 @@ def table4_hoop_configuration():
     }
 
 
+def table2_spec():
+    title = "Table 2: system configuration"
+    return ExperimentSpec(
+        id="table2",
+        title=title,
+        grid=lambda settings: [],
+        reduce=lambda settings, fetch: table2_configuration(),
+        render=lambda result: format_mapping(title, result),
+        static=True,
+    )
+
+
+def table4_spec():
+    title = "Table 4: HOOP configuration"
+    return ExperimentSpec(
+        id="table4",
+        title=title,
+        grid=lambda settings: [],
+        reduce=lambda settings, fetch: table4_hoop_configuration(),
+        render=lambda result: format_mapping(title, result),
+        static=True,
+    )
+
+
 # ------------------------------------------------------------- Table 3
+def table3_spec():
+    title = "Table 3: idempotency violations per benchmark"
+    config = PlatformConfig(arch="ideal", policy="jit")
+
+    def grid(settings):
+        return [
+            Job(bench, config, seed)
+            for bench in settings.benchmarks
+            for seed in range(settings.traces)
+        ]
+
+    def reduce(settings, fetch):
+        return {
+            bench: _mean(
+                fetch(bench, config, seed).violations
+                for seed in range(settings.traces)
+            )
+            for bench in settings.benchmarks
+        }
+
+    return ExperimentSpec(
+        id="table3",
+        title=title,
+        grid=grid,
+        reduce=reduce,
+        render=lambda result: format_series(title, result, value_format="{:,.0f}"),
+    )
+
+
 def table3_violations(settings=None):
     """Idempotency violations per benchmark on the ideal architecture
     under the JIT scheme (paper Table 3)."""
-    settings = settings or ExperimentSettings.default()
-    out = {}
-    config = PlatformConfig(arch="ideal", policy="jit")
-    for bench in settings.benchmarks:
-        counts = [
-            cached_run(bench, config, seed).violations
-            for seed in range(settings.traces)
-        ]
-        out[bench] = _mean(counts)
-    return out
+    return table3_spec().compute(_settings(settings))
 
 
 # ------------------------------------------------------------ Figure 10
+def fig10_spec(policies=("jit", "spendthrift", "watchdog")):
+    title = "Figure 10: % energy saved, NvMR vs Clank"
+
+    def grid(settings):
+        return [
+            Job(bench, PlatformConfig(arch=arch, policy=policy), seed)
+            for policy in policies
+            for bench in settings.benchmarks
+            for seed in range(settings.traces)
+            for arch in ("clank", "nvmr")
+        ]
+
+    def reduce(settings, fetch):
+        seeds = range(settings.traces)
+        results = {}
+        for policy in policies:
+            row = {}
+            for bench in settings.benchmarks:
+                clank = _avg_energy(
+                    fetch, bench, PlatformConfig(arch="clank", policy=policy), seeds
+                )
+                nvmr = _avg_energy(
+                    fetch, bench, PlatformConfig(arch="nvmr", policy=policy), seeds
+                )
+                row[bench] = _saving_percent(clank, nvmr)
+            row["average"] = _mean(row.values())
+            results[policy] = row
+        return results
+
+    return ExperimentSpec(
+        id="fig10",
+        title=title,
+        grid=grid,
+        reduce=reduce,
+        render=lambda result: format_matrix(title, result),
+    )
+
+
 def fig10_backup_schemes(settings=None, policies=("jit", "spendthrift", "watchdog")):
     """% energy saved by NvMR vs Clank per backup scheme (paper Fig. 10)."""
-    settings = settings or ExperimentSettings.default()
-    seeds = range(settings.traces)
-    results = {}
-    for policy in policies:
-        row = {}
-        for bench in settings.benchmarks:
-            clank = _avg_energy(bench, PlatformConfig(arch="clank", policy=policy), seeds)
-            nvmr = _avg_energy(bench, PlatformConfig(arch="nvmr", policy=policy), seeds)
-            row[bench] = _saving_percent(clank, nvmr)
-        row["average"] = _mean(row.values())
-        results[policy] = row
-    return results
+    return fig10_spec(policies=policies).compute(_settings(settings))
 
 
 # ------------------------------------------------------------ Figure 11
+def fig11_spec():
+    title = "Figure 11: energy breakdown (normalised to Clank)"
+
+    def grid(settings):
+        return [
+            Job(bench, PlatformConfig(arch=arch, policy="jit"), seed)
+            for bench in settings.benchmarks
+            for seed in range(settings.traces)
+            for arch in ("clank", "nvmr")
+        ]
+
+    def reduce(settings, fetch):
+        seeds = range(settings.traces)
+        out = {}
+        for bench in settings.benchmarks:
+            per_arch = {}
+            clank_total = None
+            for arch in ("clank", "nvmr"):
+                config = PlatformConfig(arch=arch, policy="jit")
+                sums = {}
+                for seed in seeds:
+                    result = fetch(bench, config, seed)
+                    for cat, value in result.breakdown.as_dict().items():
+                        sums[cat] = sums.get(cat, 0.0) + value / settings.traces
+                per_arch[arch] = sums
+                if arch == "clank":
+                    clank_total = sum(sums.values())
+            for arch in per_arch:
+                per_arch[arch] = {
+                    cat: (value / clank_total if clank_total else 0.0)
+                    for cat, value in per_arch[arch].items()
+                }
+            out[bench] = per_arch
+        return out
+
+    return ExperimentSpec(
+        id="fig11",
+        title=title,
+        grid=grid,
+        reduce=reduce,
+        render=lambda result: format_breakdowns(title, result),
+    )
+
+
 def fig11_energy_breakdown(settings=None):
     """Normalised energy breakdown of Clank vs NvMR under JIT (Fig. 11).
 
@@ -220,71 +265,141 @@ def fig11_energy_breakdown(settings=None):
     dict maps energy category -> fraction of *Clank's* total (so NvMR
     bars sum to less than 1.0 when it saves energy, as in the paper).
     """
-    settings = settings or ExperimentSettings.default()
-    seeds = range(settings.traces)
-    out = {}
-    for bench in settings.benchmarks:
-        per_arch = {}
-        clank_total = None
-        for arch in ("clank", "nvmr"):
-            config = PlatformConfig(arch=arch, policy="jit")
-            sums = {}
-            for seed in seeds:
-                result = cached_run(bench, config, seed)
-                for cat, value in result.breakdown.as_dict().items():
-                    sums[cat] = sums.get(cat, 0.0) + value / settings.traces
-            per_arch[arch] = sums
-            if arch == "clank":
-                clank_total = sum(sums.values())
-        for arch in per_arch:
-            per_arch[arch] = {
-                cat: (value / clank_total if clank_total else 0.0)
-                for cat, value in per_arch[arch].items()
-            }
-        out[bench] = per_arch
-    return out
+    return fig11_spec().compute(_settings(settings))
 
 
 # ------------------------------------------------------------ Figure 12
+def fig12_spec(policies=("jit", "watchdog")):
+    title = "Figure 12: % energy saved, NvMR vs HOOP"
+
+    def grid(settings):
+        return [
+            Job(bench, PlatformConfig(arch=arch, policy=policy), seed)
+            for policy in policies
+            for bench in settings.benchmarks
+            for seed in range(settings.traces)
+            for arch in ("hoop", "nvmr")
+        ]
+
+    def reduce(settings, fetch):
+        seeds = range(settings.traces)
+        results = {}
+        for policy in policies:
+            row = {}
+            for bench in settings.benchmarks:
+                hoop = _avg_energy(
+                    fetch, bench, PlatformConfig(arch="hoop", policy=policy), seeds
+                )
+                nvmr = _avg_energy(
+                    fetch, bench, PlatformConfig(arch="nvmr", policy=policy), seeds
+                )
+                row[bench] = _saving_percent(hoop, nvmr)
+            row["average"] = _mean(row.values())
+            results[policy] = row
+        return results
+
+    return ExperimentSpec(
+        id="fig12",
+        title=title,
+        grid=grid,
+        reduce=reduce,
+        render=lambda result: format_matrix(title, result),
+    )
+
+
 def fig12_hoop(settings=None, policies=("jit", "watchdog")):
     """% energy saved by NvMR vs HOOP (paper Fig. 12)."""
-    settings = settings or ExperimentSettings.default()
-    seeds = range(settings.traces)
-    results = {}
-    for policy in policies:
-        row = {}
-        for bench in settings.benchmarks:
-            hoop = _avg_energy(bench, PlatformConfig(arch="hoop", policy=policy), seeds)
-            nvmr = _avg_energy(bench, PlatformConfig(arch="nvmr", policy=policy), seeds)
-            row[bench] = _saving_percent(hoop, nvmr)
-        row["average"] = _mean(row.values())
-        results[policy] = row
-    return results
+    return fig12_spec(policies=policies).compute(_settings(settings))
 
 
 # --------------------------------------------------------- Figure 13a-d
-def _sweep_saving(settings, nvmr_overrides, clank_overrides=None):
+def _sweep_configs(nvmr_overrides, clank_overrides=None):
+    return (
+        PlatformConfig(arch="clank", policy="jit", **(clank_overrides or {})),
+        PlatformConfig(arch="nvmr", policy="jit", **nvmr_overrides),
+    )
+
+
+def _sweep_grid(settings, nvmr_overrides, clank_overrides=None):
+    """Every job one sweep point needs (NvMR variant + Clank baseline)."""
+    clank, nvmr = _sweep_configs(nvmr_overrides, clank_overrides)
+    return [
+        Job(bench, config, seed)
+        for bench in settings.sweep_benchmarks
+        for seed in range(settings.sweep_traces)
+        for config in (clank, nvmr)
+    ]
+
+
+def _sweep_saving(fetch, settings, nvmr_overrides, clank_overrides=None):
     """Average % saving of an NvMR variant vs Clank over the sweep set."""
+    clank_config, nvmr_config = _sweep_configs(nvmr_overrides, clank_overrides)
     seeds = range(settings.sweep_traces)
     savings = []
     for bench in settings.sweep_benchmarks:
-        clank = _avg_energy(
-            bench, PlatformConfig(arch="clank", policy="jit", **(clank_overrides or {})), seeds
-        )
-        nvmr = _avg_energy(
-            bench, PlatformConfig(arch="nvmr", policy="jit", **nvmr_overrides), seeds
-        )
+        clank = _avg_energy(fetch, bench, clank_config, seeds)
+        nvmr = _avg_energy(fetch, bench, nvmr_config, seeds)
         savings.append(_saving_percent(clank, nvmr))
     return _mean(savings)
 
 
+def _sweep_spec(spec_id, title, points, nvmr_overrides, clank_overrides=None,
+                in_report=True, key_format="{}"):
+    """A one-dimensional sweep: ``{point: avg NvMR saving vs Clank}``.
+
+    ``nvmr_overrides(point)`` (and optionally ``clank_overrides(point)``)
+    map each sweep point to PlatformConfig overrides.
+    """
+
+    def overrides(point):
+        clank = clank_overrides(point) if clank_overrides else None
+        return nvmr_overrides(point), clank
+
+    def grid(settings):
+        jobs = []
+        for point in points:
+            nvmr, clank = overrides(point)
+            jobs.extend(_sweep_grid(settings, nvmr, clank))
+        return jobs
+
+    def reduce(settings, fetch):
+        out = {}
+        for point in points:
+            nvmr, clank = overrides(point)
+            out[point] = _sweep_saving(fetch, settings, nvmr, clank)
+        return out
+
+    return ExperimentSpec(
+        id=spec_id,
+        title=title,
+        grid=grid,
+        reduce=reduce,
+        render=lambda result: format_series(title, result, key_format=key_format),
+        in_report=in_report,
+    )
+
+
+def fig13a_spec(sizes=(32, 64, 128, 256, 512, 1024)):
+    return _sweep_spec(
+        "fig13a",
+        "Figure 13a: map-table-cache entries",
+        sizes,
+        lambda size: dict(mtc_entries=size, mtc_assoc=2),
+    )
+
+
 def fig13a_mtc_size(settings=None, sizes=(32, 64, 128, 256, 512, 1024)):
     """Energy saved vs map-table-cache entries, associativity 2 (Fig. 13a)."""
-    settings = settings or ExperimentSettings.default()
-    return {
-        size: _sweep_saving(settings, dict(mtc_entries=size, mtc_assoc=2))
-        for size in sizes
-    }
+    return fig13a_spec(sizes=sizes).compute(_settings(settings))
+
+
+def fig13b_spec(assocs=(1, 2, 4, 8, 16, 32)):
+    return _sweep_spec(
+        "fig13b",
+        "Figure 13b: map-table-cache associativity",
+        assocs,
+        lambda assoc: dict(mtc_entries=32, mtc_assoc=assoc),
+    )
 
 
 def fig13b_mtc_assoc(settings=None, assocs=(1, 2, 4, 8, 16, 32)):
@@ -292,113 +407,204 @@ def fig13b_mtc_assoc(settings=None, assocs=(1, 2, 4, 8, 16, 32)):
 
     Associativity 32 with 32 entries is fully associative — the paper's
     '0' point."""
-    settings = settings or ExperimentSettings.default()
-    return {
-        assoc: _sweep_saving(settings, dict(mtc_entries=32, mtc_assoc=assoc))
-        for assoc in assocs
-    }
+    return fig13b_spec(assocs=assocs).compute(_settings(settings))
+
+
+def fig13c_spec(sizes=(1024, 2048, 4096, 8192)):
+    return _sweep_spec(
+        "fig13c",
+        "Figure 13c: map-table entries",
+        sizes,
+        lambda size: dict(map_table_entries=size),
+    )
 
 
 def fig13c_map_table(settings=None, sizes=(1024, 2048, 4096, 8192)):
     """Energy saved vs map-table entries (Fig. 13c)."""
-    settings = settings or ExperimentSettings.default()
-    return {
-        size: _sweep_saving(settings, dict(map_table_entries=size))
-        for size in sizes
-    }
+    return fig13c_spec(sizes=sizes).compute(_settings(settings))
+
+
+def fig13d_spec(presets=("500uF", "7.5mF", "100mF")):
+    return _sweep_spec(
+        "fig13d",
+        "Figure 13d: supercapacitor size",
+        presets,
+        lambda preset: dict(capacitor=preset),
+        clank_overrides=lambda preset: dict(capacitor=preset),
+    )
 
 
 def fig13d_capacitor(settings=None, presets=("500uF", "7.5mF", "100mF")):
     """Energy saved vs supercapacitor size (Fig. 13d)."""
-    settings = settings or ExperimentSettings.default()
-    out = {}
-    for preset in presets:
-        out[preset] = _sweep_saving(
-            settings, dict(capacitor=preset), clank_overrides=dict(capacitor=preset)
-        )
-    return out
+    return fig13d_spec(presets=presets).compute(_settings(settings))
 
 
 # ------------------------------------------------------------ Figure 14
+def fig14_spec(map_table_entries=4096):
+    title = "Figure 14: reclaim vs no-reclaim"
+
+    def configs():
+        clank = PlatformConfig(arch="clank", policy="jit")
+        with_reclaim = PlatformConfig(
+            arch="nvmr", policy="jit",
+            map_table_entries=map_table_entries, reclaim=True,
+        )
+        without = PlatformConfig(
+            arch="nvmr", policy="jit",
+            map_table_entries=map_table_entries, reclaim=False,
+        )
+        return clank, with_reclaim, without
+
+    def grid(settings):
+        return [
+            Job(bench, config, seed)
+            for bench in settings.benchmarks
+            for seed in range(settings.sweep_traces)
+            for config in configs()
+        ]
+
+    def reduce(settings, fetch):
+        clank_config, reclaim_config, noreclaim_config = configs()
+        seeds = range(settings.sweep_traces)
+        out = {}
+        for bench in settings.benchmarks:
+            clank = _avg_energy(fetch, bench, clank_config, seeds)
+            with_reclaim = _avg_energy(fetch, bench, reclaim_config, seeds)
+            without = _avg_energy(fetch, bench, noreclaim_config, seeds)
+            out[bench] = {
+                "reclaim": _saving_percent(clank, with_reclaim),
+                "no_reclaim": _saving_percent(clank, without),
+            }
+        out["average"] = {
+            "reclaim": _mean(v["reclaim"] for k, v in out.items() if k != "average"),
+            "no_reclaim": _mean(
+                v["no_reclaim"] for k, v in out.items() if k != "average"
+            ),
+        }
+        return out
+
+    def render(result):
+        return format_matrix(
+            title,
+            {
+                mode: {bench: v[mode] for bench, v in result.items()}
+                for mode in ("reclaim", "no_reclaim")
+            },
+        )
+
+    return ExperimentSpec(
+        id="fig14", title=title, grid=grid, reduce=reduce, render=render
+    )
+
+
 def fig14_reclaim(settings=None, map_table_entries=4096):
     """Energy saved (vs Clank) with and without reclaiming (Fig. 14)."""
-    settings = settings or ExperimentSettings.default()
-    seeds = range(settings.sweep_traces)
-    out = {}
-    for bench in settings.benchmarks:
-        clank = _avg_energy(bench, PlatformConfig(arch="clank", policy="jit"), seeds)
-        with_reclaim = _avg_energy(
-            bench,
-            PlatformConfig(
-                arch="nvmr", policy="jit",
-                map_table_entries=map_table_entries, reclaim=True,
-            ),
-            seeds,
-        )
-        without = _avg_energy(
-            bench,
-            PlatformConfig(
-                arch="nvmr", policy="jit",
-                map_table_entries=map_table_entries, reclaim=False,
-            ),
-            seeds,
-        )
-        out[bench] = {
-            "reclaim": _saving_percent(clank, with_reclaim),
-            "no_reclaim": _saving_percent(clank, without),
-        }
-    out["average"] = {
-        "reclaim": _mean(v["reclaim"] for k, v in out.items() if k != "average"),
-        "no_reclaim": _mean(v["no_reclaim"] for k, v in out.items() if k != "average"),
-    }
-    return out
+    return fig14_spec(map_table_entries=map_table_entries).compute(
+        _settings(settings)
+    )
 
 
 # ---------------------------------------------------------- Section 6.5
+def overheads_spec():
+    title = "Section 6.5: overheads"
+
+    def grid(settings):
+        return [
+            Job(bench, PlatformConfig(arch=arch, policy="jit"), seed)
+            for bench in settings.benchmarks
+            for seed in range(settings.traces)
+            for arch in ("clank", "nvmr")
+        ]
+
+    def reduce(settings, fetch):
+        seeds = range(settings.traces)
+        wear_reductions = []
+        backup_ratios = []
+        overhead_shares = []
+        for bench in settings.benchmarks:
+            for seed in seeds:
+                clank = fetch(bench, PlatformConfig(arch="clank", policy="jit"), seed)
+                nvmr = fetch(bench, PlatformConfig(arch="nvmr", policy="jit"), seed)
+                if clank.max_wear:
+                    wear_reductions.append(
+                        100.0 * (1.0 - nvmr.max_wear / clank.max_wear)
+                    )
+                if nvmr.backups:
+                    backup_ratios.append(clank.backups / nvmr.backups)
+                total = nvmr.total_energy
+                if total:
+                    overhead = (
+                        nvmr.breakdown.forward_overhead
+                        + nvmr.breakdown.backup_overhead
+                        + nvmr.breakdown.restore_overhead
+                        + nvmr.breakdown.reclaim
+                    )
+                    overhead_shares.append(100.0 * overhead / total)
+        config = PlatformConfig()
+        area = AreaModel()
+        free_list = config.map_table_entries + config.mtc_entries + 1
+        reserved_bytes = free_list * config.block_size
+        return {
+            "max_wear_reduction_percent": _mean(wear_reductions),
+            "backup_reduction_factor": _mean(backup_ratios),
+            "renaming_energy_share_percent": _mean(overhead_shares),
+            "mtc_area_overhead_percent": area.mtc_overhead_percent(
+                mtc_entries=config.mtc_entries
+            ),
+            "reserved_region_percent_of_flash": 100.0 * reserved_bytes / 0x0020_0000,
+        }
+
+    return ExperimentSpec(
+        id="overheads",
+        title=title,
+        grid=grid,
+        reduce=reduce,
+        render=lambda result: format_mapping(
+            title, {k: f"{v:.2f}" for k, v in result.items()}
+        ),
+    )
+
+
 def overheads_study(settings=None):
     """NvMR's overheads (paper Section 6.5): NVM wear reduction, backup
     count reduction, renaming energy share, on-chip area and reserved
     region footprint."""
-    settings = settings or ExperimentSettings.default()
-    seeds = range(settings.traces)
-    wear_reductions = []
-    backup_ratios = []
-    overhead_shares = []
-    for bench in settings.benchmarks:
-        for seed in seeds:
-            clank = cached_run(bench, PlatformConfig(arch="clank", policy="jit"), seed)
-            nvmr = cached_run(bench, PlatformConfig(arch="nvmr", policy="jit"), seed)
-            if clank.max_wear:
-                wear_reductions.append(
-                    100.0 * (1.0 - nvmr.max_wear / clank.max_wear)
-                )
-            if nvmr.backups:
-                backup_ratios.append(clank.backups / nvmr.backups)
-            total = nvmr.total_energy
-            if total:
-                overhead = (
-                    nvmr.breakdown.forward_overhead
-                    + nvmr.breakdown.backup_overhead
-                    + nvmr.breakdown.restore_overhead
-                    + nvmr.breakdown.reclaim
-                )
-                overhead_shares.append(100.0 * overhead / total)
-    config = PlatformConfig()
-    area = AreaModel()
-    free_list = config.map_table_entries + config.mtc_entries + 1
-    reserved_bytes = free_list * config.block_size
-    return {
-        "max_wear_reduction_percent": _mean(wear_reductions),
-        "backup_reduction_factor": _mean(backup_ratios),
-        "renaming_energy_share_percent": _mean(overhead_shares),
-        "mtc_area_overhead_percent": area.mtc_overhead_percent(
-            mtc_entries=config.mtc_entries
-        ),
-        "reserved_region_percent_of_flash": 100.0 * reserved_bytes / 0x0020_0000,
-    }
+    return overheads_spec().compute(_settings(settings))
 
 
 # ------------------------------------------------------- Footnote 6
+def footnote6_spec():
+    title = "Footnote 6: cached vs original Clank"
+    original_config = PlatformConfig(arch="clank_original", policy="jit")
+    cached_config = PlatformConfig(arch="clank", policy="jit")
+
+    def grid(settings):
+        return [
+            Job(bench, config, seed)
+            for bench in settings.sweep_benchmarks
+            for seed in range(settings.sweep_traces)
+            for config in (original_config, cached_config)
+        ]
+
+    def reduce(settings, fetch):
+        seeds = range(settings.sweep_traces)
+        out = {}
+        for bench in settings.sweep_benchmarks:
+            original = _avg_energy(fetch, bench, original_config, seeds)
+            cached = _avg_energy(fetch, bench, cached_config, seeds)
+            out[bench] = _saving_percent(original, cached)
+        out["average"] = _mean(out.values())
+        return out
+
+    return ExperimentSpec(
+        id="footnote6",
+        title=title,
+        grid=grid,
+        reduce=reduce,
+        render=lambda result: format_series(title, result),
+    )
+
+
 def footnote6_original_clank(settings=None):
     """The paper's version of Clank vs original Clank (footnote 6).
 
@@ -409,20 +615,21 @@ def footnote6_original_clank(settings=None):
     docstring), so the measured magnitudes are much larger — the
     *direction* is the reproduced claim.
     """
-    settings = settings or ExperimentSettings.default()
-    seeds = range(settings.sweep_traces)
-    out = {}
-    for bench in settings.sweep_benchmarks:
-        original = _avg_energy(
-            bench, PlatformConfig(arch="clank_original", policy="jit"), seeds
-        )
-        cached = _avg_energy(bench, PlatformConfig(arch="clank", policy="jit"), seeds)
-        out[bench] = _saving_percent(original, cached)
-    out["average"] = _mean(out.values())
-    return out
+    return footnote6_spec().compute(_settings(settings))
 
 
 # -------------------------------------------------------- Ablations
+def ablation_gbf_spec(bits=(2, 4, 8, 16, 64)):
+    return _sweep_spec(
+        "ablation_gbf",
+        "Ablation: NvMR vs Clank by GBF size (bits)",
+        bits,
+        lambda b: dict(gbf_bits=b),
+        clank_overrides=lambda b: dict(gbf_bits=b),
+        in_report=False,
+    )
+
+
 def ablation_gbf_bits(settings=None, bits=(2, 4, 8, 16, 64)):
     """Design-choice ablation: GBF size (Table 2 fixes 8 one-bit entries).
 
@@ -431,13 +638,18 @@ def ablation_gbf_bits(settings=None, bits=(2, 4, 8, 16, 64)):
     backups for Clank).  Returns ``{bits: avg NvMR saving vs Clank}``
     with both architectures using the same GBF size.
     """
-    settings = settings or ExperimentSettings.default()
-    return {
-        b: _sweep_saving(
-            settings, dict(gbf_bits=b), clank_overrides=dict(gbf_bits=b)
-        )
-        for b in bits
-    }
+    return ablation_gbf_spec(bits=bits).compute(_settings(settings))
+
+
+def ablation_cache_spec(sizes=(128, 256, 512)):
+    return _sweep_spec(
+        "ablation_cache",
+        "Ablation: NvMR vs Clank by data-cache size (B)",
+        sizes,
+        lambda size: dict(cache_size=size),
+        clank_overrides=lambda size: dict(cache_size=size),
+        in_report=False,
+    )
 
 
 def ablation_cache_size(settings=None, sizes=(128, 256, 512)):
@@ -445,13 +657,18 @@ def ablation_cache_size(settings=None, sizes=(128, 256, 512)):
 
     Returns ``{size: avg NvMR saving vs Clank}`` with both
     architectures using the same cache."""
-    settings = settings or ExperimentSettings.default()
-    return {
-        size: _sweep_saving(
-            settings, dict(cache_size=size), clank_overrides=dict(cache_size=size)
-        )
-        for size in sizes
-    }
+    return ablation_cache_spec(sizes=sizes).compute(_settings(settings))
+
+
+# ------------------------------------------------------- Extensions
+def ext_fram_spec(technologies=("flash", "fram")):
+    return _sweep_spec(
+        "ext_fram",
+        "Extension: NVM technology (flash vs FRAM)",
+        technologies,
+        lambda tech: dict(nvm_technology=tech),
+        clank_overrides=lambda tech: dict(nvm_technology=tech),
+    )
 
 
 def extension_nvm_technology(settings=None, technologies=("flash", "fram")):
@@ -463,15 +680,50 @@ def extension_nvm_technology(settings=None, technologies=("flash", "fram")):
     a much smaller NvMR-vs-Clank saving than under flash.  Returns
     ``{technology: avg % saving}`` over the sweep benchmarks.
     """
-    settings = settings or ExperimentSettings.default()
-    return {
-        tech: _sweep_saving(
-            settings,
-            dict(nvm_technology=tech),
-            clank_overrides=dict(nvm_technology=tech),
-        )
-        for tech in technologies
+    return ext_fram_spec(technologies=technologies).compute(_settings(settings))
+
+
+def ext_taxonomy_spec(benchmarks=None):
+    title = "Extension: Figure 2 design-space taxonomy (total energy, uJ)"
+    schemes = {
+        "hibernus/jit (Fig 2a)": PlatformConfig(arch="hibernus", policy="jit"),
+        "clank/jit (Fig 2b)": PlatformConfig(arch="clank", policy="jit"),
+        "nvmr/task (Fig 2c)": PlatformConfig(arch="nvmr", policy="task"),
+        "nvmr/jit (Fig 2d)": PlatformConfig(arch="nvmr", policy="jit"),
+        "hoop/jit": PlatformConfig(arch="hoop", policy="jit"),
+        "clank_original/jit": PlatformConfig(arch="clank_original", policy="jit"),
     }
+
+    def benches(settings):
+        return benchmarks or settings.sweep_benchmarks
+
+    def grid(settings):
+        return [
+            Job(bench, config, seed)
+            for config in schemes.values()
+            for bench in benches(settings)
+            for seed in range(settings.sweep_traces)
+        ]
+
+    def reduce(settings, fetch):
+        seeds = range(settings.sweep_traces)
+        out = {}
+        for label, config in schemes.items():
+            out[label] = {
+                bench: _avg_energy(fetch, bench, config, seeds) / 1e3
+                for bench in benches(settings)
+            }
+            out[label]["average"] = _mean(out[label].values())
+        return out
+
+    return ExperimentSpec(
+        id="ext_taxonomy",
+        title=title,
+        grid=grid,
+        reduce=reduce,
+        render=lambda result: format_matrix(title, result, value_format="{:8.1f}"),
+        in_report=False,
+    )
 
 
 def extension_taxonomy(settings=None, benchmarks=None):
@@ -487,24 +739,67 @@ def extension_taxonomy(settings=None, benchmarks=None):
 
     Returns ``{scheme_label: {bench: total energy in uJ}}``.
     """
-    settings = settings or ExperimentSettings.default()
-    benchmarks = benchmarks or settings.sweep_benchmarks
-    seeds = range(settings.sweep_traces)
-    schemes = {
-        "hibernus/jit (Fig 2a)": PlatformConfig(arch="hibernus", policy="jit"),
-        "clank/jit (Fig 2b)": PlatformConfig(arch="clank", policy="jit"),
-        "nvmr/task (Fig 2c)": PlatformConfig(arch="nvmr", policy="task"),
-        "nvmr/jit (Fig 2d)": PlatformConfig(arch="nvmr", policy="jit"),
-        "hoop/jit": PlatformConfig(arch="hoop", policy="jit"),
-        "clank_original/jit": PlatformConfig(arch="clank_original", policy="jit"),
-    }
-    out = {}
-    for label, config in schemes.items():
-        out[label] = {
-            bench: _avg_energy(bench, config, seeds) / 1e3 for bench in benchmarks
-        }
-        out[label]["average"] = _mean(out[label].values())
-    return out
+    return ext_taxonomy_spec(benchmarks=benchmarks).compute(_settings(settings))
+
+
+def ablation_free_list_spec(benchmarks=None):
+    title = "Ablation: free-list discipline (reserved-region endurance)"
+
+    def reduce(settings, fetch):
+        # This result needs raw per-address NVM write counts, which a
+        # cached RunResult does not carry, so it simulates directly
+        # (grid intentionally empty: the engine has nothing to prefetch
+        # or shard here).
+        from repro.energy.traces import HarvestTrace
+        from repro.sim.platform import Platform
+        from repro.workloads import load_program
+
+        benches = benchmarks or settings.sweep_benchmarks
+        out = {}
+        for mode in ("fifo", "lifo"):
+            wears = []
+            energies = []
+            for bench in benches:
+                program = load_program(bench)
+                config = PlatformConfig(
+                    arch="nvmr", policy="jit", free_list_mode=mode, reclaim=False
+                )
+                platform = Platform(
+                    program, config, trace=HarvestTrace(0), benchmark_name=bench
+                )
+                result = platform.run()
+                reserved_base = program.layout.reserved_base
+                reserved_wear = [
+                    count
+                    for addr, count in platform.nvm.write_counts.items()
+                    if addr >= reserved_base
+                ]
+                wears.append(max(reserved_wear, default=0))
+                energies.append(result.total_energy)
+            out[mode] = {
+                "max_reserved_wear": _mean(wears),
+                "total_energy_uj": _mean(energies) / 1e3,
+            }
+        return out
+
+    def render(result):
+        lines = [title, "=" * len(title)]
+        for mode, stats in result.items():
+            lines.append(
+                f"  {mode}: max reserved-region wear = "
+                f"{stats['max_reserved_wear']:.1f} writes, total energy = "
+                f"{stats['total_energy_uj']:.1f} uJ"
+            )
+        return "\n".join(lines)
+
+    return ExperimentSpec(
+        id="ablation_free_list",
+        title=title,
+        grid=lambda settings: [],
+        reduce=reduce,
+        render=render,
+        in_report=False,
+    )
 
 
 def ablation_free_list_discipline(settings=None, benchmarks=None):
@@ -516,54 +811,80 @@ def ablation_free_list_discipline(settings=None, benchmarks=None):
     reserved-region max wear and total energy (energy is essentially
     unchanged — the discipline is purely an endurance decision).
     """
-    from repro.energy.traces import HarvestTrace
-    from repro.sim.platform import Platform
-    from repro.workloads import load_program
+    return ablation_free_list_spec(benchmarks=benchmarks).compute(
+        _settings(settings)
+    )
 
-    settings = settings or ExperimentSettings.default()
-    benchmarks = benchmarks or settings.sweep_benchmarks
-    out = {}
-    for mode in ("fifo", "lifo"):
-        wears = []
-        energies = []
-        for bench in benchmarks:
-            program = load_program(bench)
-            config = PlatformConfig(
-                arch="nvmr", policy="jit", free_list_mode=mode, reclaim=False
-            )
-            platform = Platform(
-                program, config, trace=HarvestTrace(0), benchmark_name=bench
-            )
-            result = platform.run()
-            reserved_base = program.layout.reserved_base
-            reserved_wear = [
-                count
-                for addr, count in platform.nvm.write_counts.items()
-                if addr >= reserved_base
-            ]
-            wears.append(max(reserved_wear, default=0))
-            energies.append(result.total_energy)
-        out[mode] = {
-            "max_reserved_wear": _mean(wears),
-            "total_energy_uj": _mean(energies) / 1e3,
-        }
-    return out
+
+def fig10_variance_spec(policy="jit"):
+    title = "Figure 10: per-benchmark mean/std over traces"
+
+    def seeds(settings):
+        return list(range(max(settings.traces, 2)))
+
+    def grid(settings):
+        return [
+            Job(bench, PlatformConfig(arch=arch, policy=policy), seed)
+            for bench in settings.benchmarks
+            for seed in seeds(settings)
+            for arch in ("clank", "nvmr")
+        ]
+
+    def reduce(settings, fetch):
+        out = {}
+        for bench in settings.benchmarks:
+            savings = []
+            for seed in seeds(settings):
+                clank = fetch(bench, PlatformConfig(arch="clank", policy=policy), seed)
+                nvmr = fetch(bench, PlatformConfig(arch="nvmr", policy=policy), seed)
+                savings.append(
+                    _saving_percent(clank.total_energy, nvmr.total_energy)
+                )
+            mean = _mean(savings)
+            variance = _mean([(s - mean) ** 2 for s in savings])
+            out[bench] = {"mean": mean, "std": variance**0.5}
+        return out
+
+    return ExperimentSpec(
+        id="fig10_variance",
+        title=title,
+        grid=grid,
+        reduce=reduce,
+        render=lambda result: format_matrix(title, result, value_format="{:7.2f}"),
+        in_report=False,
+    )
 
 
 def fig10_with_variance(settings=None, policy="jit"):
     """Figure 10 with per-benchmark mean and standard deviation over
     traces (the paper plots trace-averaged bars; this quantifies how
     much the synthetic traces move the result)."""
-    settings = settings or ExperimentSettings.default()
-    seeds = list(range(max(settings.traces, 2)))
-    out = {}
-    for bench in settings.benchmarks:
-        savings = []
-        for seed in seeds:
-            clank = cached_run(bench, PlatformConfig(arch="clank", policy=policy), seed)
-            nvmr = cached_run(bench, PlatformConfig(arch="nvmr", policy=policy), seed)
-            savings.append(_saving_percent(clank.total_energy, nvmr.total_energy))
-        mean = _mean(savings)
-        variance = _mean([(s - mean) ** 2 for s in savings])
-        out[bench] = {"mean": mean, "std": variance**0.5}
-    return out
+    return fig10_variance_spec(policy=policy).compute(_settings(settings))
+
+
+# --------------------------------------------------------- registration
+# Paper presentation order: this drives the CLI listing, `repro
+# experiment`, the markdown report and the smoke/shard CI sweep.
+for _spec in (
+    table2_spec(),
+    table3_spec(),
+    fig10_spec(),
+    fig11_spec(),
+    table4_spec(),
+    fig12_spec(),
+    fig13a_spec(),
+    fig13b_spec(),
+    fig13c_spec(),
+    fig13d_spec(),
+    fig14_spec(),
+    overheads_spec(),
+    footnote6_spec(),
+    ext_fram_spec(),
+    ext_taxonomy_spec(),
+    ablation_gbf_spec(),
+    ablation_cache_spec(),
+    ablation_free_list_spec(),
+    fig10_variance_spec(),
+):
+    engine.register(_spec)
+del _spec

@@ -6,11 +6,13 @@ x several configurations) that is hours of single-core simulation, so
 this module pre-computes run results across worker processes and seeds
 the cache; the drivers then find every run already cached.
 
-Usage::
+Usage (the engine does this for you — ``repro.analysis.engine.
+run_experiment`` enumerates a spec's grid and prefetches it; call
+``prefetch_runs`` directly only for custom job lists)::
 
-    from repro.analysis.parallel import prefetch_runs, fig10_jobs
+    from repro.analysis.parallel import experiment_jobs, prefetch_runs
 
-    prefetch_runs(fig10_jobs(settings), workers=8)
+    prefetch_runs(experiment_jobs("fig10", settings), workers=8)
     results = fig10_backup_schemes(settings)   # all cache hits
 
 Jobs already present in the persistent disk cache
@@ -34,7 +36,6 @@ from dataclasses import replace
 from repro.analysis import experiments as exp
 from repro.analysis import runcache
 from repro.analysis.progress import report_progress
-from repro.sim.platform import PlatformConfig
 
 
 def _execute(job):
@@ -132,39 +133,31 @@ def prefetch_runs(jobs, workers=None, progress=None):
 
 
 # ------------------------------------------------------------ job sets
+# Job enumeration is owned by the experiment specs (one registry, one
+# grid per experiment); everything here is a view over it.  The named
+# helpers below are kept for callers of the historical API.
+def experiment_jobs(experiment, settings=None):
+    """The job list of a registered experiment (or a spec instance)."""
+    from repro.analysis.engine import get_experiment
+
+    if isinstance(experiment, str):
+        experiment = get_experiment(experiment)
+    return experiment.jobs(settings)
+
+
 def fig10_jobs(settings=None, policies=("jit", "spendthrift", "watchdog")):
     """Every run Figure 10 (and by reuse Figure 11) needs."""
-    settings = settings or exp.ExperimentSettings.default()
-    jobs = []
-    for policy in policies:
-        for bench in settings.benchmarks:
-            for seed in range(settings.traces):
-                for arch in ("clank", "nvmr"):
-                    jobs.append((bench, PlatformConfig(arch=arch, policy=policy), seed))
-    return jobs
+    return experiment_jobs(exp.fig10_spec(policies=policies), settings)
 
 
 def fig12_jobs(settings=None, policies=("jit", "watchdog")):
-    settings = settings or exp.ExperimentSettings.default()
-    jobs = []
-    for policy in policies:
-        for bench in settings.benchmarks:
-            for seed in range(settings.traces):
-                for arch in ("hoop", "nvmr"):
-                    jobs.append((bench, PlatformConfig(arch=arch, policy=policy), seed))
-    return jobs
+    return experiment_jobs(exp.fig12_spec(policies=policies), settings)
 
 
 def table3_jobs(settings=None):
-    settings = settings or exp.ExperimentSettings.default()
-    return [
-        (bench, PlatformConfig(arch="ideal", policy="jit"), seed)
-        for bench in settings.benchmarks
-        for seed in range(settings.traces)
-    ]
+    return experiment_jobs("table3", settings)
 
 
 def all_headline_jobs(settings=None):
     """The union of every headline experiment's runs."""
-    settings = settings or exp.ExperimentSettings.default()
     return fig10_jobs(settings) + fig12_jobs(settings) + table3_jobs(settings)

@@ -44,6 +44,22 @@ def report_progress(done, total, label=""):
         _progress_handler(done, total, label)
 
 
+def console_progress(stream=None, prefix=""):
+    """A ready-made handler printing one ``[done/total] label`` line per
+    completed run (to stderr by default, so piped experiment output
+    stays clean).  Install with :func:`set_progress_handler`, or pass
+    as the ``progress`` callback of an engine/parallel run."""
+    import sys
+
+    out = stream if stream is not None else sys.stderr
+
+    def handler(done, total, label=""):
+        out.write(f"{prefix}[{done}/{total}] {label}\n")
+        out.flush()
+
+    return handler
+
+
 _reference_cycle_cache = {}
 
 

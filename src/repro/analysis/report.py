@@ -1,124 +1,14 @@
-"""One-shot evaluation report: every experiment, one markdown document.
+"""Deprecated shim: the report generator moved to
+:mod:`repro.analysis.render` (one module now owns both the text-table
+primitives and the registry-driven markdown report).  Import from
+there; this name is kept so existing imports keep working."""
 
-``python -m repro report -o report.md`` (or :func:`generate_report`)
-runs the full experiment set at the chosen averaging scale and renders
-a self-contained markdown report mirroring the paper's evaluation
-section — useful for checking a modified model against the recorded
-shapes in EXPERIMENTS.md.
-"""
+import warnings
 
-import time
+from repro.analysis.render import generate_report, write_report  # noqa: F401
 
-from repro.analysis import experiments as exp
-from repro.analysis.reporting import (
-    format_breakdowns,
-    format_mapping,
-    format_matrix,
-    format_series,
+warnings.warn(
+    "repro.analysis.report is deprecated; use repro.analysis.render",
+    DeprecationWarning,
+    stacklevel=2,
 )
-
-#: (section title, builder) in the paper's presentation order.  Each
-#: builder takes ExperimentSettings and returns preformatted text.
-_SECTIONS = (
-    (
-        "Table 2: system configuration",
-        lambda s: format_mapping("", exp.table2_configuration()),
-    ),
-    (
-        "Table 3: idempotency violations per benchmark",
-        lambda s: format_series("", exp.table3_violations(s), value_format="{:,.0f}"),
-    ),
-    (
-        "Figure 10: % energy saved, NvMR vs Clank",
-        lambda s: format_matrix("", exp.fig10_backup_schemes(s)),
-    ),
-    (
-        "Figure 11: energy breakdown (normalised to Clank)",
-        lambda s: format_breakdowns("", exp.fig11_energy_breakdown(s)),
-    ),
-    (
-        "Table 4: HOOP configuration",
-        lambda s: format_mapping("", exp.table4_hoop_configuration()),
-    ),
-    (
-        "Figure 12: % energy saved, NvMR vs HOOP",
-        lambda s: format_matrix("", exp.fig12_hoop(s)),
-    ),
-    (
-        "Figure 13a: map-table-cache entries",
-        lambda s: format_series("", exp.fig13a_mtc_size(s)),
-    ),
-    (
-        "Figure 13b: map-table-cache associativity",
-        lambda s: format_series("", exp.fig13b_mtc_assoc(s)),
-    ),
-    (
-        "Figure 13c: map-table entries",
-        lambda s: format_series("", exp.fig13c_map_table(s)),
-    ),
-    (
-        "Figure 13d: supercapacitor size",
-        lambda s: format_series("", exp.fig13d_capacitor(s)),
-    ),
-    (
-        "Figure 14: reclaim vs no-reclaim",
-        lambda s: format_matrix(
-            "",
-            {
-                mode: {b: v[mode] for b, v in exp.fig14_reclaim(s).items()}
-                for mode in ("reclaim", "no_reclaim")
-            },
-        ),
-    ),
-    (
-        "Section 6.5: overheads",
-        lambda s: format_mapping(
-            "", {k: f"{v:.2f}" for k, v in exp.overheads_study(s).items()}
-        ),
-    ),
-    (
-        "Footnote 6: cached vs original Clank",
-        lambda s: format_series("", exp.footnote6_original_clank(s)),
-    ),
-    (
-        "Extension: NVM technology (flash vs FRAM)",
-        lambda s: format_series("", exp.extension_nvm_technology(s)),
-    ),
-)
-
-
-def generate_report(settings=None, sections=None):
-    """Run the experiments and return the report as markdown text."""
-    settings = settings or exp.ExperimentSettings.default()
-    wanted = set(sections) if sections else None
-    parts = [
-        "# NvMR reproduction — evaluation report",
-        "",
-        f"Averaging: {settings.traces} trace(s) for headline results, "
-        f"{settings.sweep_traces} for sweeps over "
-        f"{len(settings.sweep_benchmarks)} sweep benchmark(s).",
-        "See EXPERIMENTS.md for the paper-vs-measured discussion.",
-        "",
-    ]
-    for title, builder in _SECTIONS:
-        if wanted is not None and not any(k in title.lower() for k in wanted):
-            continue
-        started = time.time()
-        body = builder(settings).strip("\n")
-        elapsed = time.time() - started
-        parts.append(f"## {title}")
-        parts.append("")
-        parts.append("```")
-        parts.append(body)
-        parts.append("```")
-        parts.append(f"*({elapsed:.1f}s)*")
-        parts.append("")
-    return "\n".join(parts)
-
-
-def write_report(path, settings=None, sections=None):
-    """Generate the report and write it to ``path``."""
-    text = generate_report(settings, sections)
-    with open(path, "w") as handle:
-        handle.write(text)
-    return path

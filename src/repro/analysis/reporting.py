@@ -1,65 +1,19 @@
-"""Plain-text rendering of experiment results (the EXPERIMENTS.md tables)."""
+"""Deprecated shim: the text-table primitives moved to
+:mod:`repro.analysis.render` (one module now owns both the ``format_*``
+helpers and the registry-driven markdown report).  Import from there;
+this name is kept so existing imports keep working."""
 
+import warnings
 
-def format_matrix(title, results, value_format="{:+7.1f}"):
-    """Render ``{row: {col: value}}`` as an aligned text table.
+from repro.analysis.render import (  # noqa: F401
+    format_breakdowns,
+    format_mapping,
+    format_matrix,
+    format_series,
+)
 
-    Used for Figure 10/12-style results ({policy: {benchmark: saving}}).
-    """
-    rows = list(results)
-    cols = []
-    for row in rows:
-        for col in results[row]:
-            if col not in cols:
-                cols.append(col)
-    width = max((len(str(c)) for c in cols), default=8)
-    width = max(width, 8)
-    lines = [title, "=" * len(title)]
-    header = " " * 14 + "".join(f"{str(c):>{width + 2}}" for c in cols)
-    lines.append(header)
-    for row in rows:
-        cells = []
-        for col in cols:
-            value = results[row].get(col)
-            if value is None:
-                cells.append(" " * (width + 2))
-            else:
-                cells.append(f"{value_format.format(value):>{width + 2}}")
-        lines.append(f"{str(row):<14}" + "".join(cells))
-    return "\n".join(lines)
-
-
-def format_series(title, series, key_format="{}", value_format="{:+.2f}%"):
-    """Render ``{x: y}`` as a two-column table (Figure 13-style sweeps)."""
-    lines = [title, "=" * len(title)]
-    for key, value in series.items():
-        lines.append(f"  {key_format.format(key):>12}  {value_format.format(value)}")
-    return "\n".join(lines)
-
-
-def format_breakdowns(title, breakdowns, categories=None):
-    """Render Figure 11-style breakdowns.
-
-    ``breakdowns`` is ``{bench: {arch: {category: fraction}}}``.
-    """
-    lines = [title, "=" * len(title)]
-    for bench, per_arch in breakdowns.items():
-        lines.append(f"{bench}:")
-        for arch, cats in per_arch.items():
-            if categories is None:
-                shown = {k: v for k, v in cats.items() if v > 0.0005}
-            else:
-                shown = {k: cats.get(k, 0.0) for k in categories}
-            total = sum(cats.values())
-            parts = "  ".join(f"{k}={v * 100:5.1f}%" for k, v in shown.items())
-            lines.append(f"  {arch:>6} (total {total * 100:5.1f}%): {parts}")
-    return "\n".join(lines)
-
-
-def format_mapping(title, mapping):
-    """Render ``{key: value}`` configuration tables (Table 2/4)."""
-    width = max(len(str(k)) for k in mapping)
-    lines = [title, "=" * len(title)]
-    for key, value in mapping.items():
-        lines.append(f"  {str(key):<{width}}  {value}")
-    return "\n".join(lines)
+warnings.warn(
+    "repro.analysis.reporting is deprecated; use repro.analysis.render",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -147,6 +147,19 @@ def _result_from_dict(data):
 
 
 # -------------------------------------------------------------- access
+def contains(benchmark, config_key, trace_seed):
+    """Whether the disk cache holds this run (no load, no validation).
+
+    Used by the engine's shard-completeness check: a shard only reduces
+    once every job of the full grid is available somewhere (in-process
+    or on disk).
+    """
+    if not enabled():
+        return False
+    key = entry_key(benchmark, config_key, trace_seed)
+    return key is not None and _entry_path(key).is_file()
+
+
 def fetch(benchmark, config_key, trace_seed):
     """Load a cached RunResult, or None on miss/disabled/corrupt."""
     if not enabled():

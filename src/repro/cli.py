@@ -11,7 +11,11 @@ Subcommands
     Run a benchmark on an intermittent platform and print the result
     summary and energy breakdown (``--json`` for machine-readable).
 ``experiment``
-    Regenerate one of the paper's tables/figures and print it.
+    Regenerate paper tables/figures from the experiment-spec registry
+    (``--all`` for everything, ``--workers N`` for process-parallel
+    simulation, ``--shard K/N`` to split a sweep across invocations
+    sharing a run cache, ``--artifacts DIR`` for versioned JSON
+    results).
 ``verify-fuzz``
     Crash-consistency fuzzing: seeded random programs under adversarial
     power-failure schedules, checked by architectural invariant oracles;
@@ -30,10 +34,12 @@ from repro.workloads import BENCHMARKS
 
 
 def _cmd_list(_args):
+    from repro.analysis.engine import all_experiments
+
     print("benchmarks   :", ", ".join(sorted(BENCHMARKS)))
     print("architectures:", ", ".join(sorted(ARCHITECTURES)))
     print("policies     :", ", ".join(sorted(POLICIES)))
-    print("experiments  :", ", ".join(sorted(_EXPERIMENTS)))
+    print("experiments  :", ", ".join(all_experiments()))
     return 0
 
 
@@ -181,90 +187,65 @@ def _cmd_verify_replay(args):
     return 1
 
 
-def _experiment_registry():
-    from repro import analysis
+def _pick_settings(args):
+    from repro.analysis import ExperimentSettings
 
-    return {
-        "table2": lambda s: analysis.format_mapping(
-            "Table 2: system configuration", analysis.table2_configuration()
-        ),
-        "table3": lambda s: analysis.format_series(
-            "Table 3: idempotency violations",
-            analysis.table3_violations(s),
-            value_format="{:,.0f}",
-        ),
-        "table4": lambda s: analysis.format_mapping(
-            "Table 4: HOOP configuration", analysis.table4_hoop_configuration()
-        ),
-        "fig10": lambda s: analysis.format_matrix(
-            "Figure 10: % energy saved, NvMR vs Clank",
-            analysis.fig10_backup_schemes(s),
-        ),
-        "fig11": lambda s: analysis.format_breakdowns(
-            "Figure 11: energy breakdown (normalised to Clank)",
-            analysis.fig11_energy_breakdown(s),
-        ),
-        "fig12": lambda s: analysis.format_matrix(
-            "Figure 12: % energy saved, NvMR vs HOOP", analysis.fig12_hoop(s)
-        ),
-        "fig13a": lambda s: analysis.format_series(
-            "Figure 13a: MTC entries", analysis.fig13a_mtc_size(s)
-        ),
-        "fig13b": lambda s: analysis.format_series(
-            "Figure 13b: MTC associativity", analysis.fig13b_mtc_assoc(s)
-        ),
-        "fig13c": lambda s: analysis.format_series(
-            "Figure 13c: map-table entries", analysis.fig13c_map_table(s)
-        ),
-        "fig13d": lambda s: analysis.format_series(
-            "Figure 13d: capacitor size", analysis.fig13d_capacitor(s)
-        ),
-        "fig14": lambda s: analysis.format_matrix(
-            "Figure 14: reclaim vs no-reclaim",
-            {
-                mode: {b: v[mode] for b, v in analysis.fig14_reclaim(s).items()}
-                for mode in ("reclaim", "no_reclaim")
-            },
-        ),
-        "overheads": lambda s: analysis.format_mapping(
-            "Section 6.5: overheads",
-            {k: f"{v:.2f}" for k, v in analysis.overheads_study(s).items()},
-        ),
-        "footnote6": lambda s: analysis.format_series(
-            "Footnote 6: cached vs original Clank",
-            analysis.footnote6_original_clank(s),
-        ),
-    }
-
-
-_EXPERIMENTS = (
-    "table2", "table3", "table4", "fig10", "fig11", "fig12",
-    "fig13a", "fig13b", "fig13c", "fig13d", "fig14", "overheads",
-    "footnote6",
-)
+    if getattr(args, "smoke", False):
+        return ExperimentSettings.smoke()
+    if getattr(args, "full", False):
+        return ExperimentSettings.full()
+    return ExperimentSettings.default()
 
 
 def _cmd_report(args):
-    from repro.analysis import ExperimentSettings
-    from repro.analysis.report import write_report
+    from repro.analysis.render import write_report
 
-    settings = ExperimentSettings.full() if args.full else ExperimentSettings.default()
-    path = write_report(args.output, settings, sections=args.only or None)
+    path = write_report(args.output, _pick_settings(args), sections=args.only or None)
     print(f"wrote {path}")
     return 0
 
 
 def _cmd_experiment(args):
-    from repro.analysis import ExperimentSettings
+    from repro.analysis import engine, set_progress_handler
+    from repro.analysis.progress import console_progress
 
-    settings = ExperimentSettings.full() if args.full else ExperimentSettings.default()
-    registry = _experiment_registry()
-    for name in args.names:
+    registry = engine.all_experiments()
+    names = list(registry) if args.all else args.names
+    if not names:
+        print("no experiment names given (or use --all)")
+        return 2
+    for name in names:
         if name not in registry:
-            print(f"unknown experiment {name!r}; options: {', '.join(_EXPERIMENTS)}")
+            print(f"unknown experiment {name!r}; options: {', '.join(registry)}")
             return 2
-        print(registry[name](settings))
-        print()
+    settings = _pick_settings(args)
+    if args.progress:
+        set_progress_handler(console_progress())
+    try:
+        for name in names:
+            run = engine.run_experiment(
+                name,
+                settings=settings,
+                workers=args.workers,
+                shard=args.shard,
+                artifact_dir=args.artifacts,
+            )
+            if not run.complete:
+                print(
+                    f"{name}: shard {run.shard} simulated "
+                    f"({run.jobs_selected} of {run.jobs_total} jobs, "
+                    f"{run.fresh_runs} fresh); run the remaining shard(s) "
+                    "against the same cache, then rerun to reduce"
+                )
+                print()
+                continue
+            print(run.rendered)
+            if run.artifact_path is not None:
+                print(f"[artifact: {run.artifact_path}]")
+            print()
+    finally:
+        if args.progress:
+            set_progress_handler(None)
     return 0
 
 
@@ -307,6 +288,8 @@ def build_parser():
                           help="restrict to sections whose title contains a keyword")
     p_report.add_argument("--full", action="store_true",
                           help="paper-scale averaging (10 traces)")
+    p_report.add_argument("--smoke", action="store_true",
+                          help="minimal CI-smoke averaging")
 
     p_fuzz = sub.add_parser(
         "verify-fuzz",
@@ -328,10 +311,25 @@ def build_parser():
     p_replay.add_argument("reproducer", help="path to an artifacts/repro_*.s file")
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
-    p_exp.add_argument("names", nargs="+", metavar="name",
-                       help=f"one of: {', '.join(_EXPERIMENTS)}")
+    p_exp.add_argument("names", nargs="*", metavar="name",
+                       help="experiment ids (see `repro list`)")
+    p_exp.add_argument("--all", action="store_true",
+                       help="run every registered experiment")
     p_exp.add_argument("--full", action="store_true",
                        help="paper-scale averaging (10 traces)")
+    p_exp.add_argument("--smoke", action="store_true",
+                       help="minimal CI-smoke averaging")
+    p_exp.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="simulation worker processes (default: auto)")
+    p_exp.add_argument("--shard", metavar="K/N", default=None,
+                       help="simulate only the K-th of N deterministic job "
+                            "slices; the invocation that finds every other "
+                            "slice in the shared run cache reduces")
+    p_exp.add_argument("--artifacts", metavar="DIR", default=None,
+                       help="write versioned JSON result artifacts to DIR "
+                            "(e.g. benchmarks/results)")
+    p_exp.add_argument("--progress", action="store_true",
+                       help="print per-run progress lines to stderr")
 
     return parser
 
