@@ -79,12 +79,21 @@ def _time_workload(bench, fast, traces):
     }
 
 
-def _time_fig10(settings, fast):
-    """Time the Figure 10 driver end to end with both caches cold."""
-    from repro.analysis.experiments import _run_cache, clear_run_cache, fig10_backup_schemes
+def _time_fig10(settings, mode):
+    """Time the Figure 10 driver end to end with every cache cold.
 
-    os.environ["REPRO_FAST"] = "1" if fast else "0"
+    ``mode``: ``"reference"`` runs the seed interpreter, ``"fast"`` the
+    fast-path engine with replay disabled, ``"replay"`` the full
+    record-once/replay-many pipeline (the timing includes recording the
+    traces — the end-to-end cost a cold sweep actually pays).
+    """
+    from repro.analysis.experiments import _run_cache, clear_run_cache, fig10_backup_schemes
+    from repro.sim.replay import clear_replay_caches
+
+    os.environ["REPRO_FAST"] = "0" if mode == "reference" else "1"
+    os.environ["REPRO_REPLAY"] = "1" if mode == "replay" else "0"
     clear_run_cache()
+    clear_replay_caches()
     start = time.process_time()
     fig10_backup_schemes(settings)
     seconds = time.process_time() - start
@@ -92,6 +101,7 @@ def _time_fig10(settings, fast):
     runs = len(_run_cache)
     clear_run_cache()
     os.environ.pop("REPRO_FAST", None)
+    os.environ.pop("REPRO_REPLAY", None)
     rate = instructions / seconds if seconds else 0.0
     return {
         "seconds": round(seconds, 2),
@@ -100,6 +110,20 @@ def _time_fig10(settings, fast):
         "instructions_per_sec": round(rate),
         "steps_per_sec": round(rate),
     }
+
+
+def _time_record(settings):
+    """Time the record phase alone: one trace + replay image per
+    benchmark of the Figure 10 grid (the cost replay pays once and
+    every subsequent configuration amortises)."""
+    from repro.sim.replay import clear_replay_caches, get_image
+
+    clear_replay_caches()
+    start = time.process_time()
+    for bench in settings.benchmarks:
+        get_image(bench)
+    seconds = time.process_time() - start
+    return {"seconds": round(seconds, 2), "benchmarks": len(settings.benchmarks)}
 
 
 def main(argv=None):
@@ -165,17 +189,35 @@ def main(argv=None):
             f"speedup {speedup:.2f}x"
         )
 
-    fast_driver = _time_fig10(settings, fast=True)
-    ref_driver = _time_fig10(settings, fast=False)
+    fast_driver = _time_fig10(settings, "fast")
+    replay_driver = _time_fig10(settings, "replay")
+    record = _time_record(settings)
+    ref_driver = _time_fig10(settings, "reference")
     driver_speedup = (
         fast_driver["instructions_per_sec"] / ref_driver["instructions_per_sec"]
         if ref_driver["instructions_per_sec"]
         else 0.0
     )
+    replay_only = max(replay_driver["seconds"] - record["seconds"], 0.001)
+    replay_driver["record_seconds"] = record["seconds"]
+    replay_driver["per_replay_ms"] = round(
+        1000 * replay_only / replay_driver["runs"], 1
+    )
     report["fig10_driver"] = {
         "reference": ref_driver,
         "fast": fast_driver,
+        "replay": replay_driver,
         "speedup": round(driver_speedup, 2),
+        "replay_speedup_vs_reference": round(
+            ref_driver["seconds"] / replay_driver["seconds"], 2
+        )
+        if replay_driver["seconds"]
+        else 0.0,
+        "replay_speedup_vs_fast": round(
+            fast_driver["seconds"] / replay_driver["seconds"], 2
+        )
+        if replay_driver["seconds"]
+        else 0.0,
     }
     print(
         f"fig10 driver: ref {ref_driver['seconds']}s "
@@ -183,6 +225,13 @@ def main(argv=None):
         f"fast {fast_driver['seconds']}s "
         f"({fast_driver['instructions_per_sec']:,} instr/s)  "
         f"speedup {driver_speedup:.2f}x"
+    )
+    print(
+        f"      replay: {replay_driver['seconds']}s end to end "
+        f"(record {record['seconds']}s + "
+        f"{replay_driver['per_replay_ms']}ms x {replay_driver['runs']} replays)  "
+        f"{report['fig10_driver']['replay_speedup_vs_reference']:.2f}x vs ref, "
+        f"{report['fig10_driver']['replay_speedup_vs_fast']:.2f}x vs fast"
     )
 
     if args.min_speedup is not None:

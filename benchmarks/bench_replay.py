@@ -1,0 +1,160 @@
+"""Record-once / replay-many benchmark over the Figure 10 grid.
+
+Measures the replay pipeline (:mod:`repro.sim.replay`) in isolation,
+without the experiment engine around it: record each benchmark's
+natural execution trace once, then replay the full Figure 10 sweep —
+{clank, nvmr} x {jit, spendthrift, watchdog} x benchmarks x seeds —
+through the architecture models, and time the same grid on the
+fast-path simulator for comparison.  Reports per-benchmark record cost,
+per-replay cost and the effective sweep speedup (record + N replays vs
+N simulations); ``--check`` additionally asserts every replayed
+RunResult equals its simulated twin bit for bit.
+
+Writes ``BENCH_replay.json`` at the repo root.  All timings use
+``time.process_time()`` (CPU seconds).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_replay.py            # full
+    PYTHONPATH=src python benchmarks/bench_replay.py --smoke --check
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+ARCHES = ("clank", "nvmr")
+POLICIES = ("jit", "spendthrift", "watchdog")
+
+
+def _grid(benchmarks, seeds):
+    return [
+        (bench, arch, policy, seed)
+        for bench in benchmarks
+        for seed in range(seeds)
+        for arch in ARCHES
+        for policy in POLICIES
+    ]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="two benchmarks, one seed"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert replayed results equal simulated results bit for bit",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_replay.json"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.energy.traces import HarvestTrace
+    from repro.sim.platform import Platform, PlatformConfig
+    from repro.sim.replay import ReplayPlatform, clear_replay_caches, get_image
+    from repro.workloads import BENCHMARKS, load_program, run_workload
+
+    benchmarks = ["qsort", "hist"] if args.smoke else list(BENCHMARKS)
+    seeds = 1 if args.smoke else 2
+    grid = _grid(benchmarks, seeds)
+
+    # One-time costs outside every timing: compilation, the Spendthrift
+    # model's lazy training.
+    programs = {bench: load_program(bench) for bench in benchmarks}
+    run_workload(benchmarks[0], arch="clank", policy="spendthrift", trace_seed=0)
+
+    clear_replay_caches()
+    record = {}
+    for bench in benchmarks:
+        start = time.process_time()
+        get_image(bench)
+        record[bench] = round(time.process_time() - start, 3)
+    record_total = round(sum(record.values()), 2)
+
+    def _run(factory):
+        results = {}
+        start = time.process_time()
+        for bench, arch, policy, seed in grid:
+            platform = factory(bench, PlatformConfig(arch=arch, policy=policy), seed)
+            results[(bench, arch, policy, seed)] = platform.run()
+        return round(time.process_time() - start, 2), results
+
+    replay_seconds, replayed = _run(
+        lambda bench, config, seed: ReplayPlatform(
+            programs[bench],
+            get_image(bench),
+            config,
+            trace=HarvestTrace(seed),
+            benchmark_name=bench,
+        )
+    )
+    sim_seconds, simulated = _run(
+        lambda bench, config, seed: Platform(
+            programs[bench],
+            config,
+            trace=HarvestTrace(seed),
+            benchmark_name=bench,
+        )
+    )
+
+    mismatches = 0
+    if args.check:
+        for key, sim_result in simulated.items():
+            if replayed[key] != sim_result:
+                mismatches += 1
+                print(f"MISMATCH {key}")
+
+    end_to_end = round(record_total + replay_seconds, 2)
+    report = {
+        "smoke": args.smoke,
+        "timing": "time.process_time (CPU seconds)",
+        "grid": {
+            "arches": list(ARCHES),
+            "policies": list(POLICIES),
+            "benchmarks": benchmarks,
+            "seeds": seeds,
+            "runs": len(grid),
+        },
+        "record_seconds": record,
+        "record_total_seconds": record_total,
+        "replay_seconds": replay_seconds,
+        "per_replay_ms": round(1000 * replay_seconds / len(grid), 1),
+        "simulate_seconds": sim_seconds,
+        "per_simulation_ms": round(1000 * sim_seconds / len(grid), 1),
+        "end_to_end_seconds": end_to_end,
+        "effective_sweep_speedup": round(sim_seconds / end_to_end, 2)
+        if end_to_end
+        else 0.0,
+    }
+    if args.check:
+        report["checked"] = len(grid)
+        report["mismatches"] = mismatches
+
+    print(
+        f"record: {record_total}s for {len(benchmarks)} benchmarks; "
+        f"replay: {replay_seconds}s for {len(grid)} runs "
+        f"({report['per_replay_ms']}ms each); "
+        f"simulate: {sim_seconds}s ({report['per_simulation_ms']}ms each); "
+        f"effective sweep speedup {report['effective_sweep_speedup']:.2f}x"
+    )
+    if args.check:
+        print(f"checked {len(grid)} runs, {mismatches} mismatches")
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 1 if mismatches else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,19 +39,55 @@ from repro.analysis.progress import report_progress
 
 
 def _execute(job):
-    """Worker entry point: run one (benchmark, config, seed) job."""
-    benchmark, config, seed = job
-    from repro.energy.traces import HarvestTrace
-    from repro.workloads import run_workload
+    """Worker entry point: run one (benchmark, config, seed) job.
 
-    result = run_workload(benchmark, config=replace(config), trace=HarvestTrace(seed))
+    Routes through the engine's replay-aware dispatcher: eligible jobs
+    stream the benchmark's recorded trace (fetched from the shared
+    on-disk trace store, pre-seeded parent-side by
+    :func:`prefetch_runs`) instead of re-simulating; the rest run the
+    full simulator.  Both produce identical results.
+    """
+    benchmark, config, seed = job
+    from repro.analysis.engine import _simulate
+
+    result = _simulate(benchmark, config, seed)
     return job, result
 
 
-def _label(job):
+def _job_kind(job):
+    """How a fresh job will execute: ``"replay"`` or ``"sim"``."""
+    from repro.sim.replay import replay_enabled, replay_supported
+
+    _benchmark, config, _seed = job
+    if replay_enabled() and replay_supported(config):
+        return "replay"
+    return "sim"
+
+
+def _label(job, kind=None):
     benchmark, config, seed = job
     policy = config.policy if isinstance(config.policy, str) else "custom"
-    return f"{benchmark}/{config.arch}/{policy}/seed{seed}"
+    label = f"{benchmark}/{config.arch}/{policy}/seed{seed}"
+    return f"{kind}:{label}" if kind else label
+
+
+def _seed_traces(fresh_jobs, tick):
+    """Record (or fetch) the trace of every replay-eligible benchmark.
+
+    One record per distinct (benchmark, seed) among ``fresh_jobs``;
+    after this the on-disk trace store serves every worker process.
+    ``tick(label)`` fires per recording with a ``record:`` label.
+    """
+    from repro.sim.replay import ensure_trace
+
+    seeded = set()
+    for _key, job in fresh_jobs:
+        benchmark, _config, seed = job
+        if (benchmark, seed) in seeded or _job_kind(job) != "replay":
+            continue
+        seeded.add((benchmark, seed))
+        tick(f"record:{benchmark}/seed{seed}")
+        ensure_trace(benchmark, seed)
 
 
 def prefetch_runs(jobs, workers=None, progress=None):
@@ -75,8 +111,7 @@ def prefetch_runs(jobs, workers=None, progress=None):
         pending.append((key, (benchmark, config, seed)))
     total = len(pending)
 
-    def _tick(done, job):
-        label = _label(job)
+    def _tick(done, label):
         report_progress(done, total, label)
         if progress is not None:
             progress(done, total, label)
@@ -91,11 +126,18 @@ def prefetch_runs(jobs, workers=None, progress=None):
         if result is not None:
             exp._run_cache[key] = result
             done += 1
-            _tick(done, job)
+            _tick(done, _label(job, "cached"))
         else:
             fresh_jobs.append((key, job))
     if not fresh_jobs:
         return 0
+
+    # Pre-record phase: ensure every replay-eligible benchmark's trace
+    # is in the shared on-disk store before dispatch, so N workers
+    # sweeping the same benchmark fetch one recorded trace instead of
+    # each paying the record cost.  Ticks carry a ``record:`` label but
+    # do not advance the job counter (recording is setup, not a job).
+    _seed_traces(fresh_jobs, lambda label: _tick(done, label))
 
     def _finish(key, job, result):
         nonlocal done
@@ -103,7 +145,7 @@ def prefetch_runs(jobs, workers=None, progress=None):
         exp._run_cache[key] = result
         runcache.store(benchmark, key[1], seed, result)
         done += 1
-        _tick(done, job)
+        _tick(done, _label(job, _job_kind(job)))
 
     workers = workers or min(os.cpu_count() or 1, 8)
     if workers <= 1 or len(fresh_jobs) == 1:

@@ -27,6 +27,11 @@ from repro.cpu.state import Checkpoint
 class ClankArchitecture(CachedArchitecture):
     name = "clank"
 
+    #: estimate_backup_cost depends only on the dirty-line *count*, so
+    #: reordering dirty lines (an LRU promotion) cannot move it — a
+    #: trace replayer's event-revoked guard need not revoke on those.
+    estimate_reorder_sensitive = False
+
     def _handle_dirty_eviction(self, line):
         if line.meta is not None and line.meta.composite:
             # Idempotency violation: persisting this block would corrupt
@@ -45,7 +50,7 @@ class ClankArchitecture(CachedArchitecture):
 
     # --------------------------------------------------------- backup
     def estimate_backup_cost(self):
-        dirty = len(self.cache.dirty_lines())
+        dirty = self.cache.dirty_count()
         return (
             dirty * self.energy.block_write(self.words_per_block)
             + Checkpoint.WORDS * self.energy.nvm_write_word

@@ -37,7 +37,7 @@ class IdealArchitecture(CachedArchitecture):
 
     # --------------------------------------------------------- backup
     def estimate_backup_cost(self):
-        dirty = len(self.cache.dirty_lines())
+        dirty = self.cache.dirty_count()
         return (
             dirty * self.energy.block_write(self.words_per_block)
             + Checkpoint.WORDS * self.energy.nvm_write_word

@@ -28,6 +28,11 @@ from repro.mem.maptable import FreeList, MapTable, MapTableCache, MapTableEntry
 class NvmrArchitecture(CachedArchitecture):
     name = "nvmr"
 
+    #: The backup-cost accumulation is grouped by term value (see
+    #: _backup_plan), so the price depends only on the dirty-line and
+    #: map-probe *counts* — reordering dirty lines cannot move it.
+    estimate_reorder_sensitive = False
+
     #: NVM words read by a map-table probe (tag word, then mapping).
     MAP_ENTRY_WORDS = 2
     #: NVM words written to commit one map-table entry (tag and mapping
@@ -276,13 +281,23 @@ class NvmrArchitecture(CachedArchitecture):
         words = self.words_per_block
         destinations = []
         overhead = self.FREE_PTR_WORDS * energy.nvm_write_word
-        for line in self.cache.dirty_lines():
+        dirty = self.cache.dirty_lines()
+        # Canonical accumulation order: every per-line MTC charge
+        # first, then every map-probe charge.  Each group repeatedly
+        # adds one constant, so the float sum depends only on the two
+        # counts — never on dirty-line order.  That makes the plan's
+        # price invariant under LRU promotions, which lets
+        # ``estimate_reorder_sensitive`` stay False (a trace replayer's
+        # event-revoked guard need not revoke on promotions).
+        for _ in dirty:
             overhead += energy.mtc_access
+        probe = self.MAP_ENTRY_WORDS * energy.nvm_read_word
+        for line in dirty:
             entry = self.mtc.peek(line.block_addr)
             if entry is not None:
                 dest = entry.new
             else:
-                overhead += self.MAP_ENTRY_WORDS * energy.nvm_read_word
+                overhead += probe
                 if promote:
                     mapping = self.map_table.lookup(line.block_addr)
                 else:  # estimate path: peek without refreshing LRU order
@@ -320,11 +335,17 @@ class NvmrArchitecture(CachedArchitecture):
         mtc_peek = self.mtc.peek
         overhead = self.FREE_PTR_WORDS * energy.nvm_write_word
         dirty = 0
+        probes = 0
         for line in self.cache.dirty_lines():
             dirty += 1
-            overhead += mtc_access
             if mtc_peek(line.block_addr) is None:
-                overhead += probe
+                probes += 1
+        # Same canonical grouped order as _backup_plan — bit-identical
+        # to its price, and invariant under dirty-line reordering.
+        for _ in range(dirty):
+            overhead += mtc_access
+        for _ in range(probes):
+            overhead += probe
         overhead += (
             self._mtc_dirty_count * (self.MAP_COMMIT_WORDS * energy.nvm_write_word)
             + self._mtc_dirty_reserved * energy.nvm_write_word

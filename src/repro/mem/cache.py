@@ -132,13 +132,17 @@ class WriteBackCache:
         if index is None:
             index = len(lines) - 1  # true LRU: last in recency order
             old = lines[index]
-            victim = CacheLine(self.block_size)
+            # Built via __new__: CacheLine.__init__ would allocate (and
+            # cast) a backing buffer that is immediately replaced by the
+            # snapshot copy below.
+            victim = CacheLine.__new__(CacheLine)
             victim.valid = True
             victim.dirty = old.dirty
             victim.block_addr = old.block_addr
             victim.data = bytearray(old.data)
-            if _NATIVE_WORDS:
-                victim.words = memoryview(victim.data).cast("I")
+            victim.words = (
+                memoryview(victim.data).cast("I") if _NATIVE_WORDS else None
+            )
             victim.meta = old.meta
             self.evictions += 1
         line = lines.pop(index)
@@ -183,6 +187,19 @@ class WriteBackCache:
         return [
             line for lines in self._sets for line in lines if line.valid and line.dirty
         ]
+
+    def dirty_count(self):
+        """Number of valid dirty lines, without materialising a list.
+
+        Backup-cost estimates consult this every simulated step for the
+        count-only architectures, so the list allocation matters.
+        """
+        count = 0
+        for lines in self._sets:
+            for line in lines:
+                if line.valid and line.dirty:
+                    count += 1
+        return count
 
     def valid_lines(self):
         return [line for lines in self._sets for line in lines if line.valid]

@@ -20,6 +20,19 @@ class BackupPolicy:
     dominate regardless of what the policy wants.
     """
 
+    #: Declares that this policy's quantum-guard ``growth`` bound (see
+    #: :meth:`decide`) is only ever *consumed* by events a trace
+    #: replayer can observe directly: a cache miss, a clean line being
+    #: dirtied, or a memory access outside the inlined hit path.  A
+    #: replayer may then hold the guard floor static between such
+    #: events — provided it revokes the guard (forcing a fresh
+    #: ``decide``) whenever one occurs.  Skipped decisions stay
+    #: provably ``NONE`` and extra decisions are side-effect free, so
+    #: results are bit-identical either way; revoking on events instead
+    #: of on conservative floor growth just consults the policy far
+    #: less often.
+    guard_event_revoke = False
+
     name = "base"
 
     def reset(self, platform):

@@ -21,6 +21,13 @@ _NO_BUDGET = float("inf")
 class JitPolicy(BackupPolicy):
     name = "jit"
 
+    #: The growth bound below is only consumed by dirty-set events
+    #: (estimate_growth_per_step documents them: a clean line dirtied,
+    #: a miss's eviction/rename traffic) — between such events the
+    #: threshold is constant, so a trace replayer may hold the guard
+    #: floor static and revoke on the events themselves.
+    guard_event_revoke = True
+
     def __init__(self):
         self._estimate = None
         self._step_pad = 0.0

@@ -9,18 +9,31 @@ restores, until the program completes.
 :mod:`~repro.sim.reference` executes the same program on continuous
 power against flat memory — the ground truth that every intermittent
 run must match (the paper's correctness criterion).
+
+:mod:`~repro.sim.trace` / :mod:`~repro.sim.replay` implement the
+record-once/replay-many pipeline: one recorded execution trace per
+benchmark (persisted by :mod:`~repro.sim.tracestore`) drives every
+configuration of a sweep through :class:`~repro.sim.replay.
+ReplayPlatform`, bit-identical to full simulation.
 """
 
 from repro.sim.platform import Platform, PlatformConfig, SimulationError
 from repro.sim.reference import run_reference
+from repro.sim.replay import ReplayPlatform, replay_workload
+from repro.sim.trace import ExecutionTrace, ReplayImage, record_trace
 from repro.sim.tracing import InstructionTracer
 from repro.sim.results import RunResult
 
 __all__ = [
+    "ExecutionTrace",
     "InstructionTracer",
     "Platform",
     "PlatformConfig",
+    "ReplayImage",
+    "ReplayPlatform",
     "RunResult",
     "SimulationError",
+    "record_trace",
+    "replay_workload",
     "run_reference",
 ]

@@ -1,0 +1,259 @@
+"""Content-addressed on-disk store for recorded execution traces.
+
+Lives alongside the persistent run cache
+(:mod:`repro.analysis.runcache`): where the run cache memoizes one
+*(benchmark, config, seed)* result, the trace store memoizes the far
+more expensive raw ingredient — the program's natural instruction
+stream — which every configuration of a sweep shares.
+
+Layout
+------
+Two levels, like a tiny object store:
+
+``blobs/<content-digest>.npz``
+    The trace payload, named by the SHA-256 of its array contents.
+    A program's natural execution does not depend on the harvest
+    trace seed, so the key entries for every seed of a program point
+    at the *same* blob — stored once.
+
+``keys/<key-digest>.json``
+    The lookup entry for one ``(program hash, seed, TRACE_VERSION)``
+    triple, recording which blob it resolves to.  The digest covers
+    :data:`~repro.sim.trace.TRACE_VERSION`, so a checkout with a newer
+    trace encoding simply misses old entries — stale-version traces
+    are ignored, never silently replayed.  Blob payloads additionally
+    carry their version and are re-validated on load.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent workers
+racing on a key overwrite each other with identical bytes.
+
+Environment knobs
+-----------------
+``REPRO_TRACE_DIR``
+    Store directory (default ``<REPRO_CACHE_DIR>/traces``).
+``REPRO_RUN_CACHE=0``
+    Disables the trace store together with the run cache (traces are
+    still recorded in-process; they just aren't persisted).
+"""
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import runcache
+from repro.sim.trace import TRACE_VERSION, ExecutionTrace
+
+#: Bumped when the on-disk layout itself (not the trace semantics)
+#: changes.
+_FORMAT_VERSION = 1
+
+_EMPTY = b""
+
+
+def enabled():
+    """The store shares the run cache's kill switch."""
+    return runcache.enabled()
+
+
+def store_dir():
+    """The trace store directory as a :class:`~pathlib.Path`."""
+    override = os.environ.get("REPRO_TRACE_DIR", "")
+    if override:
+        return Path(override)
+    return runcache.cache_dir() / "traces"
+
+
+def program_hash(benchmark):
+    """SHA-256 of the benchmark's source (None for unknown workloads)."""
+    return runcache._program_hash(benchmark)
+
+
+def entry_key(program_hash, trace_seed):
+    """Digest naming the key file for one (program, seed, version)."""
+    material = json.dumps(
+        {
+            "format": _FORMAT_VERSION,
+            "trace_version": TRACE_VERSION,
+            "program": program_hash,
+            "trace_seed": trace_seed,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def _key_path(key):
+    return store_dir() / "keys" / f"{key}.json"
+
+
+def _blob_path(digest):
+    return store_dir() / "blobs" / f"{digest}.npz"
+
+
+def _atomic_write(path, data):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+# ------------------------------------------------------- serialization
+def _trace_to_bytes(trace):
+    buffer = io.BytesIO()
+    arrays = {
+        "meta": np.asarray(
+            [trace.version, trace.steps, int(trace.halted)], dtype=np.int64
+        ),
+        "indices": trace.indices,
+        "mem_addrs": trace.mem_addrs,
+        "store_values": trace.store_values,
+    }
+    if trace.cycles is not None:
+        arrays["cycles"] = trace.cycles
+    np.savez_compressed(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def _trace_from_bytes(data):
+    with np.load(io.BytesIO(data)) as archive:
+        meta = archive["meta"]
+        version, steps, halted = (int(v) for v in meta)
+        if version != TRACE_VERSION:
+            return None  # stale encoding: a miss, never a silent replay
+        return ExecutionTrace(
+            version=version,
+            steps=steps,
+            halted=bool(halted),
+            indices=archive["indices"],
+            mem_addrs=archive["mem_addrs"],
+            store_values=archive["store_values"],
+            cycles=archive["cycles"] if "cycles" in archive.files else None,
+        )
+
+
+# -------------------------------------------------------------- access
+def contains(program_hash, trace_seed):
+    """Whether the store holds a current-version trace for this key."""
+    if not enabled() or program_hash is None:
+        return False
+    key_path = _key_path(entry_key(program_hash, trace_seed))
+    try:
+        entry = json.loads(key_path.read_text())
+    except (OSError, ValueError):
+        return False
+    return (
+        entry.get("version") == TRACE_VERSION
+        and isinstance(entry.get("blob"), str)
+        and _blob_path(entry["blob"]).is_file()
+    )
+
+
+def fetch(program_hash, trace_seed):
+    """Load a stored trace, or None on miss/disabled/stale/corrupt."""
+    if not enabled() or program_hash is None:
+        return None
+    key_path = _key_path(entry_key(program_hash, trace_seed))
+    try:
+        entry = json.loads(key_path.read_text())
+    except (OSError, ValueError):
+        return None
+    if entry.get("version") != TRACE_VERSION:
+        return None
+    blob = entry.get("blob")
+    if not isinstance(blob, str):
+        return None
+    try:
+        data = _blob_path(blob).read_bytes()
+    except OSError:
+        return None
+    try:
+        return _trace_from_bytes(data)
+    except (KeyError, ValueError, OSError):
+        return None  # corrupt blob; treat as a miss
+
+
+def store(program_hash, trace_seed, trace):
+    """Persist a trace; no-op if disabled or the program is unknown."""
+    if not enabled() or program_hash is None:
+        return
+    digest = hashlib.sha256(trace.digest_material()).hexdigest()
+    blob_path = _blob_path(digest)
+    if not blob_path.is_file():  # content-addressed: dedup across seeds
+        _atomic_write(blob_path, _trace_to_bytes(trace))
+    entry = json.dumps(
+        {
+            "format": _FORMAT_VERSION,
+            "version": trace.version,
+            "program": program_hash,
+            "trace_seed": trace_seed,
+            "blob": digest,
+        },
+        sort_keys=True,
+    )
+    _atomic_write(_key_path(entry_key(program_hash, trace_seed)), entry.encode())
+
+
+def clear_store():
+    """Delete every key and blob; returns the number of files removed."""
+    removed = 0
+    directory = store_dir()
+    for sub, pattern in (("keys", "*.json"), ("blobs", "*.npz")):
+        folder = directory / sub
+        if not folder.is_dir():
+            continue
+        for path in folder.glob(pattern):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+def prune_stale():
+    """Evict entries whose recorded version is stale and blobs no key
+    references; returns the number of files removed."""
+    removed = 0
+    directory = store_dir()
+    keys_dir = directory / "keys"
+    live_blobs = set()
+    if keys_dir.is_dir():
+        for path in keys_dir.glob("*.json"):
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, ValueError):
+                entry = None
+            if entry is not None and entry.get("version") == TRACE_VERSION:
+                blob = entry.get("blob")
+                if isinstance(blob, str):
+                    live_blobs.add(blob)
+                continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    blobs_dir = directory / "blobs"
+    if blobs_dir.is_dir():
+        for path in blobs_dir.glob("*.npz"):
+            if path.stem in live_blobs:
+                continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed

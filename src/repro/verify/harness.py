@@ -123,6 +123,23 @@ def _make_config(plan):
     )
 
 
+def _finish_plan(platform, base, expected, monitored):
+    """Run an already-built platform through the oracle matrix.
+
+    Returns ``(record-or-None, RunResult-or-None)``; the result is only
+    available when no oracle fired.
+    """
+    if monitored:
+        CrashConsistencyMonitor(platform, base, words=len(expected))
+    try:
+        result = platform.run()
+    except InvariantViolation as exc:
+        return exc.record, None
+    except SimulationError as exc:
+        return ViolationRecord(kind="no-progress", detail=str(exc)), None
+    return check_final_state(platform, base, expected), result
+
+
 def run_single(program, plan, expected, base, words):
     """Run one plan; returns a :class:`ViolationRecord` or None.
 
@@ -136,15 +153,84 @@ def run_single(program, plan, expected, base, words):
         trace=AdversarialSource(plan.schedule),
         benchmark_name="verify-fuzz",
     )
-    if plan.arch != "ideal":
-        CrashConsistencyMonitor(platform, base, words)
-    try:
-        platform.run()
-    except InvariantViolation as exc:
-        return exc.record
-    except SimulationError as exc:
-        return ViolationRecord(kind="no-progress", detail=str(exc))
-    return check_final_state(platform, base, expected)
+    record, _result = _finish_plan(
+        platform, base, expected, monitored=plan.arch != "ideal"
+    )
+    return record
+
+
+def _replay_eligible(plan):
+    """Whether the replayer would serve this plan (mirror of
+    :func:`repro.sim.replay.replay_supported`, minus the env knob —
+    the fuzzer cross-checks replay even when sweeps have it off)."""
+    return plan.fast and plan.arch != "ideal"
+
+
+def run_replay_cross_check(program, plan, expected, base, words, image):
+    """Run one plan on the simulator *and* the replayer; divergence fails.
+
+    The same adversarial schedule drives both runs (through fresh
+    :class:`AdversarialSource` instances), with the crash-consistency
+    monitor installed on both.  The oracle verdicts must agree exactly;
+    on clean runs the full RunResult (every energy float bit for bit),
+    the event-log length and the final raw NVM image must also match.
+    Returns the simulator's own verdict when both sides agree on a
+    genuine violation, a ``replay-divergence`` record when they
+    disagree, or None.
+    """
+    from repro.sim.replay import ReplayPlatform
+
+    sim = Platform(
+        program,
+        _make_config(plan),
+        trace=AdversarialSource(plan.schedule),
+        benchmark_name="verify-fuzz",
+    )
+    sim_record, sim_result = _finish_plan(sim, base, expected, monitored=True)
+
+    rep = ReplayPlatform(
+        program,
+        image,
+        _make_config(plan),
+        trace=AdversarialSource(plan.schedule),
+        benchmark_name="verify-fuzz",
+    )
+    rep_record, rep_result = _finish_plan(rep, base, expected, monitored=True)
+
+    def _verdict(record):
+        return (record.kind, record.detail) if record is not None else None
+
+    if _verdict(sim_record) != _verdict(rep_record):
+        return ViolationRecord(
+            kind="replay-divergence",
+            detail=(
+                f"oracle verdicts diverge: simulator={_verdict(sim_record)!r} "
+                f"replay={_verdict(rep_record)!r}"
+            ),
+        )
+    if sim_record is not None:
+        return sim_record
+    for name in sim_result.__dataclass_fields__:
+        if getattr(rep_result, name) != getattr(sim_result, name):
+            return ViolationRecord(
+                kind="replay-divergence",
+                detail=(
+                    f"RunResult.{name} diverges: "
+                    f"simulator={getattr(sim_result, name)!r} "
+                    f"replay={getattr(rep_result, name)!r}"
+                ),
+            )
+    if len(rep.events) != len(sim.events):
+        return ViolationRecord(
+            kind="replay-divergence",
+            detail="platform event-log length diverges under replay",
+        )
+    if rep.nvm._words != sim.nvm._words:
+        return ViolationRecord(
+            kind="replay-divergence",
+            detail="final raw NVM image diverges under replay",
+        )
+    return None
 
 
 def run_differential(program, plan, expected, base, words):
@@ -247,9 +333,25 @@ def run_case(case, seed):
     schedule = _random_schedule(rng, reference.instructions)
 
     runs = 0
+    image = None
     for plan in _case_plans(case, rng, schedule):
         runs += 1
-        record = run_single(program, plan, expected, base, words)
+        if _replay_eligible(plan):
+            # Every fast-engine plan doubles as a replayer cross-check:
+            # the case's trace is recorded once (in memory — fuzz
+            # programs never touch the shared trace store) and the
+            # replayed run must agree with the simulated one on every
+            # oracle verdict, result field and final NVM word.
+            if image is None:
+                from repro.sim.trace import ReplayImage, record_trace
+
+                image = ReplayImage(program, record_trace(program))
+            runs += 1
+            record = run_replay_cross_check(
+                program, plan, expected, base, words, image
+            )
+        else:
+            record = run_single(program, plan, expected, base, words)
         if record is not None:
             return runs, FuzzFailure(case, seed, plan, record, spec)
 

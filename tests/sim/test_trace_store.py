@@ -1,0 +1,132 @@
+"""The content-addressed on-disk trace store."""
+
+import json
+
+import pytest
+
+from repro.sim import tracestore
+from repro.sim.trace import TRACE_VERSION, record_trace
+from repro.workloads import load_program
+
+
+@pytest.fixture
+def store(monkeypatch, tmp_path):
+    """An enabled, empty store in a per-test directory."""
+    monkeypatch.setenv("REPRO_RUN_CACHE", "1")
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+    return tmp_path / "traces"
+
+
+@pytest.fixture(scope="module")
+def hist_trace():
+    return record_trace(load_program("hist"))
+
+
+def test_roundtrip_preserves_trace(store, hist_trace):
+    phash = tracestore.program_hash("hist")
+    assert tracestore.fetch(phash, 0) is None
+    tracestore.store(phash, 0, hist_trace)
+    assert tracestore.contains(phash, 0)
+    loaded = tracestore.fetch(phash, 0)
+    assert loaded.version == hist_trace.version
+    assert loaded.steps == hist_trace.steps
+    assert loaded.halted == hist_trace.halted
+    assert (loaded.indices == hist_trace.indices).all()
+    assert (loaded.mem_addrs == hist_trace.mem_addrs).all()
+    assert (loaded.store_values == hist_trace.store_values).all()
+
+
+def test_keyed_by_program_seed_and_version(store, hist_trace):
+    phash = tracestore.program_hash("hist")
+    tracestore.store(phash, 0, hist_trace)
+    # Other seeds and other programs are distinct keys.
+    assert not tracestore.contains(phash, 1)
+    assert tracestore.fetch(phash, 1) is None
+    assert not tracestore.contains("0" * 64, 0)
+    # The key digest covers TRACE_VERSION: the same (program, seed)
+    # resolves differently under a different encoding version.
+    assert tracestore.entry_key(phash, 0) != tracestore.entry_key(phash, 1)
+    material = json.loads(
+        (store / "keys" / f"{tracestore.entry_key(phash, 0)}.json").read_text()
+    )
+    assert material["version"] == TRACE_VERSION
+
+
+def test_blob_shared_across_seeds(store, hist_trace):
+    phash = tracestore.program_hash("hist")
+    tracestore.store(phash, 0, hist_trace)
+    tracestore.store(phash, 7, hist_trace)
+    assert tracestore.contains(phash, 7)
+    # Two key entries, one content-addressed blob.
+    assert len(list((store / "keys").glob("*.json"))) == 2
+    assert len(list((store / "blobs").glob("*.npz"))) == 1
+
+
+def test_stale_version_entries_are_ignored(store, hist_trace, monkeypatch):
+    phash = tracestore.program_hash("hist")
+    tracestore.store(phash, 0, hist_trace)
+    key_path = store / "keys" / f"{tracestore.entry_key(phash, 0)}.json"
+    entry = json.loads(key_path.read_text())
+
+    # A key entry recording an older trace version is a miss even if
+    # the digest were to collide.
+    entry["version"] = TRACE_VERSION - 1
+    key_path.write_text(json.dumps(entry))
+    assert not tracestore.contains(phash, 0)
+    assert tracestore.fetch(phash, 0) is None
+
+    # A blob whose embedded version is stale is likewise never
+    # silently replayed.
+    entry["version"] = TRACE_VERSION
+    key_path.write_text(json.dumps(entry))
+    monkeypatch.setattr(tracestore, "TRACE_VERSION", TRACE_VERSION + 1)
+    assert tracestore.fetch(phash, 0) is None
+
+
+def test_corrupt_artifacts_read_as_misses(store, hist_trace):
+    phash = tracestore.program_hash("hist")
+    tracestore.store(phash, 0, hist_trace)
+    key_path = store / "keys" / f"{tracestore.entry_key(phash, 0)}.json"
+    blob = json.loads(key_path.read_text())["blob"]
+
+    (store / "blobs" / f"{blob}.npz").write_bytes(b"not an npz")
+    assert tracestore.fetch(phash, 0) is None
+
+    key_path.write_text("{malformed")
+    assert not tracestore.contains(phash, 0)
+    assert tracestore.fetch(phash, 0) is None
+
+
+def test_prune_stale_evicts_old_entries_and_orphans(store, hist_trace):
+    phash = tracestore.program_hash("hist")
+    tracestore.store(phash, 0, hist_trace)
+    tracestore.store(phash, 1, hist_trace)
+    key_path = store / "keys" / f"{tracestore.entry_key(phash, 1)}.json"
+    entry = json.loads(key_path.read_text())
+    entry["version"] = TRACE_VERSION - 1
+    key_path.write_text(json.dumps(entry))
+    orphan = store / "blobs" / ("f" * 64 + ".npz")
+    orphan.write_bytes(b"orphan")
+
+    removed = tracestore.prune_stale()
+    # The stale key and the unreferenced blob go; the live pair stays.
+    assert removed == 2
+    assert tracestore.contains(phash, 0)
+    assert not key_path.exists()
+    assert not orphan.exists()
+
+
+def test_clear_store_removes_everything(store, hist_trace):
+    phash = tracestore.program_hash("hist")
+    tracestore.store(phash, 0, hist_trace)
+    assert tracestore.clear_store() == 2
+    assert not tracestore.contains(phash, 0)
+
+
+def test_disabled_store_is_inert(store, hist_trace, monkeypatch):
+    monkeypatch.setenv("REPRO_RUN_CACHE", "0")
+    phash = tracestore.program_hash("hist")
+    tracestore.store(phash, 0, hist_trace)
+    assert not tracestore.contains(phash, 0)
+    assert tracestore.fetch(phash, 0) is None
+    assert not (store / "keys").exists()
