@@ -44,6 +44,13 @@ from repro.analysis.experiments import (
     table3_violations,
     table4_hoop_configuration,
 )
+from repro.analysis.pareto import (
+    bootstrap_ci,
+    cohens_d,
+    dominates,
+    pareto_front,
+    policy_candidates,
+)
 from repro.analysis.progress import (
     console_progress,
     report_progress,
@@ -69,9 +76,14 @@ __all__ = [
     "ablation_free_list_discipline",
     "ablation_gbf_bits",
     "all_experiments",
+    "bootstrap_ci",
     "cached_run",
     "clear_run_cache",
+    "cohens_d",
     "console_progress",
+    "dominates",
+    "pareto_front",
+    "policy_candidates",
     "extension_nvm_technology",
     "extension_taxonomy",
     "fig10_backup_schemes",

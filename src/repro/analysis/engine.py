@@ -65,6 +65,16 @@ class ExperimentSettings:
     sweep_traces: int = 1
     benchmarks: list = field(default_factory=lambda: list(ALL_BENCHMARKS))
     sweep_benchmarks: list = field(default_factory=lambda: list(SWEEP_BENCHMARKS))
+    #: Trace seeds per candidate in the Pareto tuning sweeps — the
+    #: bootstrap CIs resample over these, so ``full()`` uses many.
+    pareto_traces: int = 2
+    #: NVM cost tables (see ``repro.energy.model.NVM_TECHNOLOGIES``)
+    #: the Pareto sweeps compute fronts for.
+    pareto_technologies: list = field(
+        default_factory=lambda: ["flash", "fram"]
+    )
+    #: Benchmarks averaged into each Pareto candidate's objectives.
+    pareto_benchmarks: list = field(default_factory=lambda: ["qsort", "dwt"])
 
     @classmethod
     def default(cls):
@@ -78,13 +88,18 @@ class ExperimentSettings:
             sweep_traces=3,
             benchmarks=list(ALL_BENCHMARKS),
             sweep_benchmarks=list(ALL_BENCHMARKS),
+            pareto_traces=20,
+            pareto_technologies=["flash", "fram", "reram", "stt"],
+            pareto_benchmarks=list(SWEEP_BENCHMARKS),
         )
 
     @classmethod
     def smoke(cls):
         """Minimal settings for CI smoke tests."""
         return cls(traces=1, sweep_traces=1, benchmarks=["qsort", "hist"],
-                   sweep_benchmarks=["qsort"])
+                   sweep_benchmarks=["qsort"], pareto_traces=1,
+                   pareto_technologies=["flash", "fram"],
+                   pareto_benchmarks=["qsort"])
 
 
 class Job(NamedTuple):
@@ -98,6 +113,25 @@ class Job(NamedTuple):
 
 # ---------------------------------------------------------------- cache
 _run_cache = {}
+
+
+def _kwargs_key(kwargs):
+    """A canonical, order-independent key for ``config.policy_kwargs``.
+
+    The tuning sweeps vary configurations *only* through
+    ``policy_kwargs``, so the cache identity must cover it — without
+    this, every swept threshold would collide with the default run in
+    both cache layers.  JSON with sorted keys keeps the component a
+    primitive string (disk-cacheable); kwargs JSON can't express (e.g.
+    an injected policy object) fall back to a repr tuple, which the
+    disk layer correctly refuses to cache.
+    """
+    if not kwargs:
+        return ""
+    try:
+        return json.dumps(kwargs, sort_keys=True)
+    except TypeError:
+        return tuple(sorted((k, repr(v)) for k, v in kwargs.items()))
 
 
 def _config_key(config):
@@ -120,6 +154,7 @@ def _config_key(config):
         config.oop_buffer_entries,
         config.oop_region_slots,
         config.watchdog_period,
+        _kwargs_key(config.policy_kwargs),
     )
 
 
@@ -212,6 +247,10 @@ class ExperimentSpec:
     render: Callable[[Any], str]
     static: bool = False
     in_report: bool = True
+    #: Archive the JSON artifact under :func:`default_artifact_dir`
+    #: even when the caller gives no ``--artifacts`` directory (used by
+    #: the Pareto sweeps, whose whole output *is* the artifact).
+    archive: bool = False
 
     def jobs(self, settings=None):
         """The deduplicated, deterministically ordered job list."""
@@ -349,6 +388,16 @@ def _freeze(key):
 
 def artifact_path(experiment_id, directory):
     return Path(directory) / f"{experiment_id}.json"
+
+
+def default_artifact_dir():
+    """Where ``archive=True`` specs land their artifacts: the repo's
+    ``benchmarks/results/`` when running from a checkout, else the
+    working directory's."""
+    repo_root = Path(__file__).resolve().parents[3]
+    if (repo_root / "benchmarks").is_dir():
+        return repo_root / "benchmarks" / "results"
+    return Path.cwd() / "benchmarks" / "results"
 
 
 def write_artifact(spec, settings, result, directory):

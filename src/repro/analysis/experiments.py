@@ -40,6 +40,7 @@ from repro.analysis.engine import (  # noqa: F401  (re-exported legacy API)
     cached_run,
     clear_run_cache,
 )
+from repro.analysis.pareto import pareto_specs
 from repro.analysis.render import (
     format_breakdowns,
     format_mapping,
@@ -885,6 +886,9 @@ for _spec in (
     ablation_cache_spec(),
     ablation_free_list_spec(),
     fig10_variance_spec(),
+    # Policy auto-tuning sweeps (repro.analysis.pareto): per-policy
+    # threshold fronts plus the cross-policy summary.
+    *pareto_specs(),
 ):
     engine.register(_spec)
 del _spec

@@ -7,6 +7,11 @@ import warnings
 
 from repro.analysis.render import generate_report, write_report  # noqa: F401
 
+__all__ = ["generate_report", "write_report"]
+
+# Module-level, so the warning fires exactly once per fresh import and
+# not at all on cached re-imports (pinned by
+# tests/analysis/test_deprecation_shims.py).
 warnings.warn(
     "repro.analysis.report is deprecated; use repro.analysis.render",
     DeprecationWarning,

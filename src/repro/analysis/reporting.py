@@ -12,6 +12,16 @@ from repro.analysis.render import (  # noqa: F401
     format_series,
 )
 
+__all__ = [
+    "format_breakdowns",
+    "format_mapping",
+    "format_matrix",
+    "format_series",
+]
+
+# Module-level, so the warning fires exactly once per fresh import and
+# not at all on cached re-imports (pinned by
+# tests/analysis/test_deprecation_shims.py).
 warnings.warn(
     "repro.analysis.reporting is deprecated; use repro.analysis.render",
     DeprecationWarning,

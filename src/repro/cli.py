@@ -150,6 +150,29 @@ def _cmd_run(args):
     return 0
 
 
+def _parse_tune(specs):
+    """Parse repeated ``--tune policy.param=value`` flags into
+    ``{policy: {param: value}}`` (values coerced int, then float, else
+    kept as strings)."""
+    overrides = {}
+    for text in specs or ():
+        target, sep, value_text = text.partition("=")
+        policy, dot, param = target.partition(".")
+        if not sep or not dot or not policy or not param or not value_text:
+            raise SystemExit(
+                f"--tune must look like policy.param=value, got {text!r}"
+            )
+        try:
+            value = int(value_text)
+        except ValueError:
+            try:
+                value = float(value_text)
+            except ValueError:
+                value = value_text
+        overrides.setdefault(policy, {})[param] = value
+    return overrides
+
+
 def _cmd_verify_fuzz(args):
     from repro.verify import run_fuzz
 
@@ -160,6 +183,7 @@ def _cmd_verify_fuzz(args):
         artifacts_dir=args.artifacts,
         max_failures=args.max_failures,
         progress=progress,
+        policy_overrides=_parse_tune(args.tune) or None,
     )
     print(
         f"verify-fuzz: {summary.cases} cases, {summary.runs} runs, "
@@ -223,12 +247,17 @@ def _cmd_experiment(args):
         set_progress_handler(console_progress())
     try:
         for name in names:
+            artifact_dir = args.artifacts
+            if artifact_dir is None and registry[name].archive:
+                # Archive-by-default experiments (the Pareto sweeps):
+                # their whole output is the artifact.
+                artifact_dir = engine.default_artifact_dir()
             run = engine.run_experiment(
                 name,
                 settings=settings,
                 workers=args.workers,
                 shard=args.shard,
-                artifact_dir=args.artifacts,
+                artifact_dir=artifact_dir,
             )
             if not run.complete:
                 print(
@@ -304,6 +333,11 @@ def build_parser():
                         help="stop after this many distinct failures")
     p_fuzz.add_argument("--quiet", action="store_true",
                         help="suppress progress lines")
+    p_fuzz.add_argument("--tune", action="append", default=[],
+                        metavar="POLICY.PARAM=VALUE",
+                        help="tune a policy parameter for the whole "
+                             "campaign (repeatable), e.g. "
+                             "--tune watchdog.period=350")
 
     p_replay = sub.add_parser(
         "verify-replay", help="replay a verify-fuzz reproducer (.s)"

@@ -67,9 +67,37 @@ class EnergyModel:
             restore_fixed=5.0,
         )
 
+    @classmethod
+    def reram(cls):
+        """ReRAM: reads near SRAM cost, writes ~10x reads (set/reset
+        pulse energy dominates), sitting between flash and FRAM.  The
+        per-technology cost matrices follow the NVM-architecture design
+        study in PAPERS.md (Badri et al.): same model, different
+        read/write/commit table."""
+        return cls(
+            nvm_read_word=0.4,
+            nvm_write_word=4.0,
+            backup_commit=20.0,
+            restore_fixed=10.0,
+        )
+
+    @classmethod
+    def stt(cls):
+        """STT-MRAM: symmetric-ish read/write at a few x SRAM energy;
+        writes cost only ~3x reads, so backup traffic is cheap but not
+        FRAM-cheap."""
+        return cls(
+            nvm_read_word=0.3,
+            nvm_write_word=1.0,
+            backup_commit=10.0,
+            restore_fixed=8.0,
+        )
+
 
 #: Technology presets selectable via PlatformConfig.nvm_technology.
 NVM_TECHNOLOGIES = {
     "flash": EnergyModel.flash,
     "fram": EnergyModel.fram,
+    "reram": EnergyModel.reram,
+    "stt": EnergyModel.stt,
 }

@@ -18,7 +18,12 @@ architecture's structural needs:
   (structural backups only); used by tests.
 """
 
-from repro.policies.base import BackupPolicy, NeverPolicy, PolicyAction
+from repro.policies.base import (
+    BackupPolicy,
+    NeverPolicy,
+    PolicyAction,
+    TunableSpec,
+)
 from repro.policies.jit import JitPolicy
 from repro.policies.spendthrift import SpendthriftPolicy, train_spendthrift_model
 from repro.policies.task import TaskBoundaryPolicy
@@ -44,6 +49,21 @@ def make_policy(name, **kwargs):
     return cls(**kwargs)
 
 
+def policy_tunables(name):
+    """The :class:`TunableSpec` tuple a registered policy declares.
+
+    Raises ``ValueError`` for unknown names; policies without tunables
+    (e.g. ``never``) return an empty tuple.
+    """
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; options: {sorted(POLICIES)}"
+        ) from None
+    return tuple(getattr(cls, "tunables", ()))
+
+
 __all__ = [
     "BackupPolicy",
     "JitPolicy",
@@ -52,7 +72,9 @@ __all__ = [
     "PolicyAction",
     "SpendthriftPolicy",
     "TaskBoundaryPolicy",
+    "TunableSpec",
     "WatchdogPolicy",
     "make_policy",
+    "policy_tunables",
     "train_spendthrift_model",
 ]

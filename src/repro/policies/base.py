@@ -1,5 +1,29 @@
 """Backup-policy interface."""
 
+from typing import NamedTuple
+
+
+class TunableSpec(NamedTuple):
+    """One tunable policy parameter and its sweep grid.
+
+    Declared as class attributes on each :class:`BackupPolicy`
+    subclass (``tunables``); the Pareto auto-tuner
+    (:mod:`repro.analysis.pareto`) reads these declarations to build
+    its threshold sweep grids, and applies each value through
+    ``PlatformConfig.policy_kwargs`` — so a tunable's ``name`` must be
+    a keyword the policy's ``__init__`` accepts.
+    """
+
+    #: Keyword name in the policy constructor / ``policy_kwargs``.
+    name: str
+    #: The hand-picked value the paper's experiments use.
+    default: object
+    #: Values the auto-tuner sweeps (should include sensible extremes;
+    #: need not include the default — it is always evaluated).
+    grid: tuple
+    #: One line on what the knob trades off.
+    description: str
+
 
 class PolicyAction:
     """What the policy wants after an instruction retires."""
@@ -32,6 +56,10 @@ class BackupPolicy:
     #: of on conservative floor growth just consults the policy far
     #: less often.
     guard_event_revoke = False
+
+    #: Tunable parameters the Pareto auto-tuner may sweep
+    #: (:class:`TunableSpec` tuple); empty means nothing to tune.
+    tunables = ()
 
     name = "base"
 

@@ -12,14 +12,29 @@ single instruction, a JIT run never suffers an unexpected power failure
 and therefore has zero dead energy — matching Section 6.1.4.
 """
 
-from repro.policies.base import BackupPolicy, PolicyAction
+from repro.policies.base import BackupPolicy, PolicyAction, TunableSpec
 
 #: JIT's guard is energy-bounded only — no cycle budget.
 _NO_BUDGET = float("inf")
 
+DEFAULT_MARGIN = 1.0
+
 
 class JitPolicy(BackupPolicy):
     name = "jit"
+
+    tunables = (
+        TunableSpec(
+            name="margin",
+            default=DEFAULT_MARGIN,
+            grid=(1.0, 2.0, 4.0, 8.0),
+            description=(
+                "safety multiplier on the worst-single-step pad; larger "
+                "margins shut down earlier (more backups, less progress "
+                "per charge) but tolerate cruder energy estimates"
+            ),
+        ),
+    )
 
     #: The growth bound below is only consumed by dirty-set events
     #: (estimate_growth_per_step documents them: a clean line dirtied,
@@ -28,7 +43,10 @@ class JitPolicy(BackupPolicy):
     #: floor static and revoke on the events themselves.
     guard_event_revoke = True
 
-    def __init__(self):
+    def __init__(self, margin=DEFAULT_MARGIN):
+        if margin <= 0:
+            raise ValueError("jit margin must be positive")
+        self.margin = margin
         self._estimate = None
         self._step_pad = 0.0
         self._growth = None
@@ -39,13 +57,19 @@ class JitPolicy(BackupPolicy):
         # them; after_step stays the reference implementation.
         arch = platform.arch
         self._estimate = arch.estimate_backup_cost
-        self._step_pad = arch.worst_step_cost()
+        self._step_pad = self._pad(arch)
         self._growth = arch.estimate_growth_per_step()
+
+    def _pad(self, arch):
+        # margin == 1.0 keeps the pad (and every downstream comparison)
+        # bit-identical to the pre-tunable policy.
+        pad = arch.worst_step_cost()
+        return pad if self.margin == 1.0 else self.margin * pad
 
     def after_step(self, platform, cycles):
         capacitor = platform.capacitor
         arch = platform.arch
-        threshold = arch.estimate_backup_cost() + arch.worst_step_cost()
+        threshold = arch.estimate_backup_cost() + self._pad(arch)
         if capacitor.energy <= threshold:
             return PolicyAction.SHUTDOWN
         return PolicyAction.NONE

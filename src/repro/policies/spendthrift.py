@@ -17,7 +17,7 @@ failure modes that make Spendthrift save less than JIT in Figure 10.
 
 import numpy as np
 
-from repro.policies.base import BackupPolicy, PolicyAction
+from repro.policies.base import BackupPolicy, PolicyAction, TunableSpec
 
 #: Std-dev of the capacitor-voltage measurement noise (fraction units).
 MEASUREMENT_NOISE = 0.05
@@ -123,7 +123,23 @@ def default_model():
 class SpendthriftPolicy(BackupPolicy):
     name = "spendthrift"
 
+    tunables = (
+        TunableSpec(
+            name="check_interval",
+            default=CHECK_INTERVAL_CYCLES,
+            grid=(25, 50, 200, 400),
+            description=(
+                "cycles between ADC samples / model inferences; frequent "
+                "checks catch the shutdown point precisely but model a "
+                "busier (costlier-to-deploy) predictor, sparse checks "
+                "risk predicting late and dying"
+            ),
+        ),
+    )
+
     def __init__(self, model=None, seed=7, check_interval=CHECK_INTERVAL_CYCLES):
+        if check_interval <= 0:
+            raise ValueError("check_interval must be positive")
         self.model = model
         self.check_interval = check_interval
         self._seed = seed

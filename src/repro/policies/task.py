@@ -15,7 +15,7 @@ energy bill, like every other policy here.
 """
 
 from repro.isa.instructions import Opcode
-from repro.policies.base import BackupPolicy, PolicyAction
+from repro.policies.base import BackupPolicy, PolicyAction, TunableSpec
 
 #: Minimum cycles between task backups (task granularity knob).
 DEFAULT_MIN_TASK_CYCLES = 1500
@@ -29,6 +29,29 @@ DEFAULT_MAX_TASK_CYCLES = 6000
 
 class TaskBoundaryPolicy(BackupPolicy):
     name = "task"
+
+    tunables = (
+        TunableSpec(
+            name="min_task_cycles",
+            default=DEFAULT_MIN_TASK_CYCLES,
+            grid=(500, 1000, 3000, 6000),
+            description=(
+                "minimum cycles between task backups (task granularity); "
+                "small values checkpoint at almost every call, large "
+                "values coalesce helper-heavy code into bigger tasks"
+            ),
+        ),
+        TunableSpec(
+            name="max_task_cycles",
+            default=DEFAULT_MAX_TASK_CYCLES,
+            grid=(3000, 12000),
+            description=(
+                "forced loop-split bound: a call-free stretch longer "
+                "than this backs up anyway, modeling mandatory task "
+                "decomposition of long loops"
+            ),
+        ),
+    )
 
     def __init__(
         self,

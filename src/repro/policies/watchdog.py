@@ -6,7 +6,7 @@ failures and the energy spent since the last timer backup is dead
 (re-executed) energy — the paper's "most naive" scheme.
 """
 
-from repro.policies.base import BackupPolicy, PolicyAction
+from repro.policies.base import BackupPolicy, PolicyAction, TunableSpec
 
 DEFAULT_PERIOD_CYCLES = 8000
 
@@ -16,6 +16,21 @@ _NO_FLOOR = float("-inf")
 
 class WatchdogPolicy(BackupPolicy):
     name = "watchdog"
+
+    tunables = (
+        TunableSpec(
+            name="period",
+            default=DEFAULT_PERIOD_CYCLES,
+            grid=(1000, 2000, 4000, 16000),
+            description=(
+                "cycles between timer backups; short periods pay more "
+                "backup energy, long periods lose more dead (re-executed) "
+                "energy to power failures (a period outlasting one full "
+                "charge livelocks the device, so the grid stops at 2x "
+                "the default)"
+            ),
+        ),
+    )
 
     def __init__(self, period=DEFAULT_PERIOD_CYCLES):
         if period <= 0:

@@ -67,6 +67,9 @@ class RunPlan:
     fast: bool
     schedule: tuple = ()
     structures: dict = field(default_factory=dict)
+    #: Tuned policy-constructor kwargs (e.g. a swept watchdog period),
+    #: so sweep-tuned thresholds run through the same oracle matrix.
+    policy_kwargs: dict = field(default_factory=dict)
 
     @property
     def engine(self):
@@ -117,6 +120,7 @@ def _make_config(plan):
         policy=plan.policy,
         capacitor_energy=_INJECTOR_CAPACITOR_NJ,
         watchdog_period=700,
+        policy_kwargs=dict(plan.policy_kwargs),
         max_steps=_MAX_STEPS,
         fast=plan.fast,
         **plan.structures,
@@ -297,7 +301,12 @@ def _random_schedule(rng, reference_instructions):
     return tuple(sorted(set(faults)))
 
 
-def _case_plans(case, rng, schedule):
+def _tuned(policy, overrides):
+    """The tuned kwargs for one policy (empty dict when untouched)."""
+    return dict((overrides or {}).get(policy, {}))
+
+
+def _case_plans(case, rng, schedule, policy_overrides=None):
     """The run matrix for one case (ideal baseline + injected targets)."""
     structures = dict(_STRUCTURES[case % len(_STRUCTURES)])
     nvmr_policy, clank_policy = (
@@ -305,8 +314,10 @@ def _case_plans(case, rng, schedule):
     )
     nvmr_fast = case % 2 == 0
     plans = [
-        RunPlan("ideal", "watchdog", fast=not nvmr_fast),
-        RunPlan("nvmr", nvmr_policy, nvmr_fast, schedule, structures),
+        RunPlan("ideal", "watchdog", fast=not nvmr_fast,
+                policy_kwargs=_tuned("watchdog", policy_overrides)),
+        RunPlan("nvmr", nvmr_policy, nvmr_fast, schedule, structures,
+                _tuned(nvmr_policy, policy_overrides)),
         RunPlan(
             "clank",
             clank_policy,
@@ -314,13 +325,20 @@ def _case_plans(case, rng, schedule):
             _random_schedule(rng, max(2, len(schedule)) * 50),
             {k: v for k, v in structures.items()
              if k in ("cache_size", "cache_assoc")},
+            _tuned(clank_policy, policy_overrides),
         ),
     ]
     return plans
 
 
-def run_case(case, seed):
-    """Run one fuzz case; returns (runs_performed, failure-or-None)."""
+def run_case(case, seed, policy_overrides=None):
+    """Run one fuzz case; returns (runs_performed, failure-or-None).
+
+    ``policy_overrides`` maps policy name to tuned constructor kwargs
+    (``{"watchdog": {"period": 350}}``) so sweep-tuned thresholds face
+    the same adversarial schedules and invariant oracles as the
+    defaults.
+    """
     rng = random.Random((seed << 24) ^ (case * 0x9E3779B1) & 0xFFFFFFFF)
     if case % 4 == 3:
         spec = generate_minicc_spec(rng.randrange(1 << 30))
@@ -334,7 +352,7 @@ def run_case(case, seed):
 
     runs = 0
     image = None
-    for plan in _case_plans(case, rng, schedule):
+    for plan in _case_plans(case, rng, schedule, policy_overrides):
         runs += 1
         if _replay_eligible(plan):
             # Every fast-engine plan doubles as a replayer cross-check:
@@ -356,9 +374,12 @@ def run_case(case, seed):
             return runs, FuzzFailure(case, seed, plan, record, spec)
 
     structures = dict(_STRUCTURES[case % len(_STRUCTURES)])
+    watchdog_kwargs = _tuned("watchdog", policy_overrides)
     if case % 8 == 0:
         # Differential: same schedule, both engines, full bit-identity.
-        plan = RunPlan("nvmr", "watchdog", True, schedule, structures)
+        plan = RunPlan(
+            "nvmr", "watchdog", True, schedule, structures, watchdog_kwargs
+        )
         runs += 2
         record = run_differential(program, plan, expected, base, words)
         if record is not None:
@@ -368,7 +389,8 @@ def run_case(case, seed):
         start = rng.randrange(1, max(2, reference.instructions))
         for n in range(start, start + 8):
             plan = RunPlan(
-                "nvmr", "watchdog", case % 2 == 0, (("step", n),), structures
+                "nvmr", "watchdog", case % 2 == 0, (("step", n),),
+                structures, watchdog_kwargs,
             )
             runs += 1
             record = run_single(program, plan, expected, base, words)
@@ -490,6 +512,7 @@ def write_reproducer(failure, directory="artifacts"):
         "policy": failure.plan.policy,
         "engine": failure.plan.engine,
         "structures": failure.plan.structures,
+        "policy_kwargs": failure.plan.policy_kwargs,
         "schedule": [list(fault) for fault in schedule],
         "tracked": list(spec.tracked(spec.program())),
         "oracle": record.kind,
@@ -536,6 +559,8 @@ def replay_reproducer(path):
         fast=meta["engine"] == "fast",
         schedule=tuple(tuple(fault) for fault in meta["schedule"]),
         structures=dict(meta["structures"]),
+        # Absent in pre-tuning reproducers: default to untuned.
+        policy_kwargs=dict(meta.get("policy_kwargs", {})),
     )
     base, words = meta["tracked"]
     reference = run_reference(program, max_steps=_REFERENCE_MAX_STEPS)
@@ -551,12 +576,18 @@ def run_fuzz(
     max_failures=5,
     shrink=True,
     progress=None,
+    policy_overrides=None,
 ):
-    """Run a fuzzing campaign; returns a :class:`FuzzSummary`."""
+    """Run a fuzzing campaign; returns a :class:`FuzzSummary`.
+
+    ``policy_overrides`` (``{policy: {kwarg: value}}``) tunes the
+    policies the case matrix instantiates — the CLI's ``--tune
+    policy.param=value`` — so swept thresholds get fuzzed too.
+    """
     failures = []
     total_runs = 0
     for case in range(cases):
-        runs, failure = run_case(case, seed)
+        runs, failure = run_case(case, seed, policy_overrides)
         total_runs += runs
         if failure is not None:
             if shrink:

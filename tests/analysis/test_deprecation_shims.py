@@ -1,0 +1,52 @@
+"""The report/reporting deprecation shims warn exactly once per import.
+
+A fresh import of either shim must emit exactly one DeprecationWarning
+pointing at :mod:`repro.analysis.render`; a cached re-import must emit
+none (the warning is module-level, and Python only executes a module
+body once per process).
+"""
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+SHIMS = ["repro.analysis.report", "repro.analysis.reporting"]
+
+
+@pytest.mark.parametrize("name", SHIMS)
+def test_fresh_import_warns_exactly_once(name):
+    sys.modules.pop(name, None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        module = importlib.import_module(name)
+    emitted = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(emitted) == 1
+    message = str(emitted[0].message)
+    assert name in message
+    assert "repro.analysis.render" in message
+    assert module.__all__  # the shim still re-exports the moved names
+
+    # Cached re-import: the module body does not run again, so no new
+    # warning fires even with the filter wide open.
+    with warnings.catch_warnings(record=True) as caught_again:
+        warnings.simplefilter("always")
+        importlib.import_module(name)
+    assert [
+        w for w in caught_again if issubclass(w.category, DeprecationWarning)
+    ] == []
+
+
+def test_shims_reexport_render_objects():
+    from repro.analysis import render
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for name in SHIMS:
+            sys.modules.pop(name, None)
+            module = importlib.import_module(name)
+            for exported in module.__all__:
+                assert getattr(module, exported) is getattr(render, exported)

@@ -1,0 +1,90 @@
+"""Golden-artifact regression for the Pareto sweep pipeline.
+
+A small committed artifact (``golden_pareto_watchdog.json``, produced at
+smoke scale) pins the artifact schema, the reduced result shape, and the
+renderer's exact output.  Every assertion here runs with the simulator
+monkeypatched to raise: the whole render path must work from the
+artifact alone.  Regenerate the pair with::
+
+    PYTHONPATH=src python -m repro experiment pareto_watchdog --smoke \
+        --artifacts tests/analysis
+    # then rename to golden_pareto_watchdog.{json,txt}
+
+if the artifact format, the sweep grids, or the renderer change on
+purpose.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import engine
+from repro.analysis.engine import (
+    ExperimentSettings,
+    get_experiment,
+    load_artifact,
+    render_artifact,
+    write_artifact,
+)
+from repro.analysis.pareto import TUNED_POLICIES
+
+HERE = Path(__file__).parent
+GOLDEN_JSON = HERE / "golden_pareto_watchdog.json"
+GOLDEN_TXT = HERE / "golden_pareto_watchdog.txt"
+
+
+@pytest.fixture(autouse=True)
+def _no_simulation(monkeypatch):
+    """Everything below must run from the committed artifact alone."""
+
+    def _refuse(benchmark, config, trace_seed):
+        raise AssertionError(
+            f"golden-artifact test tried to simulate {benchmark}"
+        )
+
+    monkeypatch.setattr(engine, "_simulate", _refuse)
+
+
+def test_golden_artifact_loads_and_describes_itself():
+    artifact = load_artifact(GOLDEN_JSON)
+    assert artifact["experiment"] == "pareto_watchdog"
+    assert artifact["title"].startswith("Pareto sweep: watchdog")
+    result = artifact["result"]
+    assert result["arch"] == "nvmr"
+    assert result["objectives"] == ["energy_uj", "kcycles"]
+    assert result["policies"] == ["watchdog"]
+    assert "watchdog" in TUNED_POLICIES
+    for tech in result["technologies"]:
+        rows = result["candidates"][tech]
+        assert rows, f"no candidates recorded for {tech}"
+        labels = [row["label"] for row in rows]
+        front = result["fronts"][tech]
+        assert front and set(front) <= set(labels)
+        for row in rows:
+            lo, hi = row["energy_ci"]
+            assert lo <= row["energy_uj"] <= hi
+            lo, hi = row["kcycles_ci"]
+            assert lo <= row["kcycles"] <= hi
+
+
+def test_golden_artifact_rerenders_byte_identically():
+    assert render_artifact(GOLDEN_JSON) == GOLDEN_TXT.read_text()
+
+
+def test_golden_artifact_rewrites_byte_identically(tmp_path):
+    artifact = load_artifact(GOLDEN_JSON)
+    spec = get_experiment(artifact["experiment"])
+    settings = ExperimentSettings(**artifact["settings"])
+    write_artifact(spec, settings, artifact["result"], tmp_path)
+    rewritten = tmp_path / GOLDEN_JSON.name.replace("golden_", "")
+    assert rewritten.read_bytes() == GOLDEN_JSON.read_bytes()
+
+
+def test_golden_artifact_is_canonical_json():
+    # The committed document itself round-trips through json with the
+    # writer's formatting — guards against hand edits drifting from
+    # what write_artifact would produce.
+    data = json.loads(GOLDEN_JSON.read_text())
+    assert data["schema"] == engine.ARTIFACT_SCHEMA
+    assert data["version"] == engine.ARTIFACT_VERSION

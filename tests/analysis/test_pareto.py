@@ -1,0 +1,156 @@
+"""The Pareto tuning core: dominance, fronts, bootstrap CIs, candidates.
+
+Property tests (hypothesis) pin the algebra the sweeps rely on:
+dominance is a strict partial order, the front is invariant under
+permutation and duplicate insertion, bootstrap CIs are deterministic
+for a fixed seed.  Unit tests pin the candidate enumeration against
+the policies' declared :class:`TunableSpec` grids.
+"""
+
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.pareto import (
+    TUNED_POLICIES,
+    bootstrap_ci,
+    candidate_config,
+    cohens_d,
+    dominates,
+    pareto_front,
+    policy_candidates,
+)
+from repro.policies import POLICIES, policy_tunables
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=32)
+point = st.tuples(finite, finite)
+points = st.lists(point, min_size=1, max_size=24)
+
+
+# ---------------------------------------------------------- dominance
+@given(point)
+def test_dominance_is_irreflexive(a):
+    assert not dominates(a, a)
+
+
+@given(point, point)
+def test_dominance_is_asymmetric(a, b):
+    if dominates(a, b):
+        assert not dominates(b, a)
+
+
+@given(point, point, point)
+def test_dominance_is_transitive(a, b, c):
+    if dominates(a, b) and dominates(b, c):
+        assert dominates(a, c)
+
+
+def test_dominance_needs_strict_improvement():
+    assert dominates((1.0, 1.0), (1.0, 2.0))
+    assert dominates((1.0, 1.0), (2.0, 2.0))
+    assert not dominates((1.0, 1.0), (1.0, 1.0))
+    assert not dominates((1.0, 2.0), (2.0, 1.0))  # incomparable
+    with pytest.raises(ValueError):
+        dominates((1.0,), (1.0, 2.0))
+
+
+# -------------------------------------------------------------- front
+@settings(max_examples=200)
+@given(points, st.randoms(use_true_random=False))
+def test_front_invariant_under_permutation_and_duplicates(pts, rng):
+    front = pareto_front(pts)
+    mutated = pts + rng.choices(pts, k=len(pts))  # duplicate some
+    rng.shuffle(mutated)  # permute everything
+    assert pareto_front(mutated) == front
+
+
+@given(points)
+def test_front_is_the_non_dominated_subset(pts):
+    unique = {tuple(p) for p in pts}
+    front = pareto_front(pts)
+    assert front == sorted(set(front))  # deduped, canonical order
+    assert set(front) <= unique
+    for p in front:
+        assert not any(dominates(q, p) for q in unique)
+    # Completeness: everything off the front is dominated by something
+    # on it (finite strict partial orders have maximal elements).
+    for q in unique - set(front):
+        assert any(dominates(p, q) for p in front)
+
+
+# ---------------------------------------------------------- bootstrap
+values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=24
+)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@given(values, seeds)
+def test_bootstrap_ci_is_deterministic_and_bounded(vals, seed):
+    first = bootstrap_ci(vals, seed)
+    assert bootstrap_ci(vals, seed) == first  # fixed seed, fixed CI
+    lo, hi = first
+    assert lo <= hi
+    # Resample means live inside the observed range, up to summation
+    # rounding: mean([v]*n) = (n*v)/n can land one ULP outside v (a
+    # Hypothesis find: vals=[1.0, 1.0, 4.68e-119], where the all-tiny
+    # resample's mean rounds just below the tiny value itself).
+    slack = 4 * sys.float_info.epsilon * max(1.0, abs(min(vals)), abs(max(vals)))
+    assert min(vals) - slack <= lo and hi <= max(vals) + slack
+
+
+def test_bootstrap_ci_degenerate_cases():
+    assert bootstrap_ci([7.5], seed=1) == (7.5, 7.5)
+    lo, hi = bootstrap_ci([3.0, 3.0, 3.0], seed=1)
+    assert lo == hi == 3.0
+    with pytest.raises(ValueError):
+        bootstrap_ci([], seed=1)
+
+
+def test_cohens_d():
+    assert cohens_d([]) == 0.0
+    assert cohens_d([2.0, 2.0, 2.0]) == 0.0  # zero variance
+    assert cohens_d([1.0, 3.0]) == pytest.approx(2.0)  # mean 2, std 1
+    assert cohens_d([-1.0, -3.0]) == pytest.approx(-2.0)
+
+
+# --------------------------------------------------------- candidates
+def test_candidates_cover_declared_grids():
+    for policy in TUNED_POLICIES:
+        tunables = policy_tunables(policy)
+        assert tunables, f"{policy} declares no tunables"
+        candidates = policy_candidates(policy)
+        assert candidates[0].label == f"{policy} default"
+        assert candidates[0].tunable is None
+        labels = [c.label for c in candidates]
+        assert len(set(labels)) == len(labels)  # labels are unique
+        expected = 1 + sum(
+            sum(1 for v in spec.grid if v != spec.default)
+            for spec in tunables
+        )
+        assert len(candidates) == expected
+
+
+def test_every_candidate_constructs_a_valid_policy():
+    # The grid values must be accepted by the constructors — a typo'd
+    # TunableSpec name or an out-of-range grid value fails here, not
+    # mid-sweep.
+    for policy in TUNED_POLICIES:
+        for candidate in policy_candidates(policy):
+            config = candidate_config(candidate, "flash")
+            built = config.make_policy()
+            if candidate.tunable is not None:
+                assert getattr(built, candidate.tunable) == candidate.value
+
+
+def test_tunable_defaults_match_constructors():
+    for name, cls in POLICIES.items():
+        for spec in policy_tunables(name):
+            assert getattr(cls(), spec.name) == spec.default
+
+
+def test_policies_without_tunables_are_fine():
+    assert policy_tunables("never") == ()
+    with pytest.raises(ValueError):
+        policy_tunables("nope")

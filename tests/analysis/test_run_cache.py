@@ -89,6 +89,46 @@ def test_model_version_bump_invalidates(monkeypatch):
     assert key_v1 != key_v2
 
 
+def test_policy_kwargs_are_part_of_the_key():
+    # The Pareto sweeps vary configurations only through policy_kwargs;
+    # without this, every swept threshold would collide with the
+    # default run in both cache layers.
+    default = PlatformConfig(arch="nvmr", policy="watchdog")
+    tuned = PlatformConfig(
+        arch="nvmr", policy="watchdog", policy_kwargs={"period": 1000}
+    )
+    assert _config_key(default) != _config_key(tuned)
+    # Kwarg order must not matter (canonical JSON, sorted keys).
+    two_a = PlatformConfig(
+        arch="nvmr", policy="task",
+        policy_kwargs={"min_task_cycles": 500, "max_task_cycles": 12000},
+    )
+    two_b = PlatformConfig(
+        arch="nvmr", policy="task",
+        policy_kwargs={"max_task_cycles": 12000, "min_task_cycles": 500},
+    )
+    assert _config_key(two_a) == _config_key(two_b)
+    # Tuned runs stay disk-cacheable (the component is a primitive
+    # string), under a distinct entry.
+    assert runcache.entry_key(BENCH, _config_key(tuned), SEED) is not None
+    assert runcache.entry_key(
+        BENCH, _config_key(tuned), SEED
+    ) != runcache.entry_key(BENCH, _config_key(default), SEED)
+    cached_run(BENCH, default, SEED)
+    cached_run(BENCH, tuned, SEED)
+    assert len(_entries()) == 2
+
+
+def test_non_json_policy_kwargs_skip_disk():
+    # Kwargs JSON can't express (an injected model object, say) fall
+    # back to a repr tuple, which the disk layer correctly refuses.
+    config = PlatformConfig(
+        arch="nvmr", policy="jit", policy_kwargs={"margin": object()}
+    )
+    key = _config_key(config)
+    assert runcache.entry_key(BENCH, key, SEED) is None
+
+
 def test_non_primitive_config_key_skips_disk():
     from repro.policies import make_policy
 

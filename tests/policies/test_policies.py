@@ -75,6 +75,30 @@ def test_jit_threshold_tracks_backup_cost():
     assert policy.after_step(platform2, 1) == PolicyAction.NONE
 
 
+def test_jit_margin_scales_the_step_pad():
+    # cost 500 + margin * worst 100: margin 1 shuts down at <= 600,
+    # margin 4 already at <= 900 — a wider safety margin gives up
+    # earlier in the period.
+    platform = FakePlatform(energy=700.0)
+    assert JitPolicy().after_step(platform, 1) == PolicyAction.NONE
+    assert JitPolicy(margin=4.0).after_step(platform, 1) == PolicyAction.SHUTDOWN
+
+
+def test_jit_margin_default_is_bit_identical():
+    # margin=1.0 must not perturb the pre-tunable threshold arithmetic
+    # (the replay/differential suites pin this end to end; this pins
+    # the unit-level identity).
+    arch = FakeArch(backup_cost=500.0, worst_step=100.0)
+    assert JitPolicy()._pad(arch) == arch.worst_step_cost()
+
+
+def test_jit_margin_validation():
+    with pytest.raises(ValueError):
+        JitPolicy(margin=0)
+    with pytest.raises(ValueError):
+        JitPolicy(margin=-2.0)
+
+
 # ------------------------------------------------------------ watchdog
 def test_watchdog_fires_every_period():
     policy = WatchdogPolicy(period=100)

@@ -83,6 +83,56 @@ def test_replay_matches_simulator_across_benchmarks(bench, arch):
     _compare(bench, PlatformConfig(arch=arch, policy="jit"), seed=1)
 
 
+#: A sampled sub-grid of the Pareto sweeps' tunables (one non-default
+#: value per knob, from each policy's TunableSpec grid) — before the
+#: tuning sweeps, replay had only ever been exercised at the default
+#: thresholds.
+TUNED_SUBGRID = [
+    ("jit", {"margin": 4.0}),
+    ("watchdog", {"period": 1000}),
+    ("spendthrift", {"check_interval": 25}),
+    ("task", {"min_task_cycles": 500}),
+    ("task", {"max_task_cycles": 12000}),
+]
+
+_TUNED_IDS = [
+    f"{policy}-{'-'.join(f'{k}={v}' for k, v in kwargs.items())}"
+    for policy, kwargs in TUNED_SUBGRID
+]
+
+
+@pytest.mark.parametrize("policy,kwargs", TUNED_SUBGRID, ids=_TUNED_IDS)
+def test_replay_matches_simulator_for_tuned_thresholds(policy, kwargs):
+    _compare(
+        "hist",
+        PlatformConfig(arch="nvmr", policy=policy, policy_kwargs=dict(kwargs)),
+    )
+
+
+@pytest.mark.parametrize("policy,kwargs", TUNED_SUBGRID, ids=_TUNED_IDS)
+def test_engines_agree_for_tuned_thresholds(policy, kwargs):
+    """Fast engine == reference engine == replay, bit for bit, at swept
+    thresholds (the quantum-guard skipping must stay unobservable when
+    the thresholds move)."""
+    program = load_program("hist")
+    outcomes = {}
+    for fast in (True, False):
+        config = PlatformConfig(
+            arch="nvmr", policy=policy, fast=fast, policy_kwargs=dict(kwargs)
+        )
+        platform = Platform(
+            program, config, trace=HarvestTrace(0), benchmark_name="hist"
+        )
+        outcomes[fast] = (platform.run(), platform)
+    fast_result, fast_platform = outcomes[True]
+    ref_result, ref_platform = outcomes[False]
+    for name in ref_result.__dataclass_fields__:
+        assert getattr(fast_result, name) == getattr(ref_result, name), name
+    assert len(fast_platform.events) == len(ref_platform.events)
+    assert fast_platform.nvm._words == ref_platform.nvm._words
+    verify_platform("hist", fast_platform)
+
+
 def test_replay_workload_verifies_outputs():
     result = replay_workload("hist", arch="nvmr", policy="jit", trace_seed=0)
     assert result.benchmark == "hist"
