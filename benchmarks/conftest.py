@@ -76,4 +76,11 @@ def run_spec(benchmark, experiment, settings, report=None, archive=True,
         if name is None:
             name = experiment if isinstance(experiment, str) else experiment.id
         report(name, run.rendered)
+    if archive and run.artifact_path is not None and str(
+            run.artifact_path.stem).startswith("pareto"):
+        # Emit the front figure next to the .txt/.json outputs
+        # (matplotlib optional: absence silently skips the plot).
+        from repro.analysis.plots import write_pareto_plot
+
+        write_pareto_plot(run.artifact_path)
     return run.result

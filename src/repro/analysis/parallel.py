@@ -1,10 +1,19 @@
-"""Process-parallel experiment execution.
+"""Process-parallel experiment execution — thin caller of the scheduler.
 
 The experiment drivers are serial (they share an in-process run cache).
 For paper-scale averaging (``REPRO_FULL=1``: 10 traces x 10 benchmarks
 x several configurations) that is hours of single-core simulation, so
-this module pre-computes run results across worker processes and seeds
-the cache; the drivers then find every run already cached.
+:func:`prefetch_runs` pre-computes run results across worker processes
+and seeds the cache; the drivers then find every run already cached.
+
+Since the service refactor the execution core lives in
+:mod:`repro.service.scheduler` — job planning against both cache
+layers, trace pre-seeding, the bounded/backpressured process pool and
+in-flight deduplication are the process-wide scheduler's.  This module
+keeps the synchronous surface the engine, benchmarks and tests call
+(bit-identical to the pre-service code) and translates the scheduler's
+structured :class:`~repro.service.scheduler.ProgressEvent`\\ s into the
+historical ``progress(done, total, label)`` callbacks.
 
 Usage (the engine does this for you — ``repro.analysis.engine.
 run_experiment`` enumerates a spec's grid and prefetches it; call
@@ -20,74 +29,17 @@ Jobs already present in the persistent disk cache
 being dispatched, and fresh results are written back to it, so a
 parallel prefetch seeds exactly the entries serial execution would.
 
-Futures are submitted in a bounded window and collected as they
-complete (no head-of-line blocking on one slow job); each completion
-fires :func:`repro.analysis.progress.report_progress` plus any
-``progress`` callback passed directly.
-
 Workers each pay a one-time benchmark-compilation cost (~10 s); jobs
 are deterministic, so parallel and serial results are identical.
 """
 
-import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import replace
-
 from repro.analysis import experiments as exp
-from repro.analysis import runcache
 from repro.analysis.progress import report_progress
-
-
-def _execute(job):
-    """Worker entry point: run one (benchmark, config, seed) job.
-
-    Routes through the engine's replay-aware dispatcher: eligible jobs
-    stream the benchmark's recorded trace (fetched from the shared
-    on-disk trace store, pre-seeded parent-side by
-    :func:`prefetch_runs`) instead of re-simulating; the rest run the
-    full simulator.  Both produce identical results.
-    """
-    benchmark, config, seed = job
-    from repro.analysis.engine import _simulate
-
-    result = _simulate(benchmark, config, seed)
-    return job, result
-
-
-def _job_kind(job):
-    """How a fresh job will execute: ``"replay"`` or ``"sim"``."""
-    from repro.sim.replay import replay_enabled, replay_supported
-
-    _benchmark, config, _seed = job
-    if replay_enabled() and replay_supported(config):
-        return "replay"
-    return "sim"
-
-
-def _label(job, kind=None):
-    benchmark, config, seed = job
-    policy = config.policy if isinstance(config.policy, str) else "custom"
-    label = f"{benchmark}/{config.arch}/{policy}/seed{seed}"
-    return f"{kind}:{label}" if kind else label
-
-
-def _seed_traces(fresh_jobs, tick):
-    """Record (or fetch) the trace of every replay-eligible benchmark.
-
-    One record per distinct (benchmark, seed) among ``fresh_jobs``;
-    after this the on-disk trace store serves every worker process.
-    ``tick(label)`` fires per recording with a ``record:`` label.
-    """
-    from repro.sim.replay import ensure_trace
-
-    seeded = set()
-    for _key, job in fresh_jobs:
-        benchmark, _config, seed = job
-        if (benchmark, seed) in seeded or _job_kind(job) != "replay":
-            continue
-        seeded.add((benchmark, seed))
-        tick(f"record:{benchmark}/seed{seed}")
-        ensure_trace(benchmark, seed)
+from repro.service.scheduler import (  # noqa: F401  (historical API)
+    _execute,
+    _job_kind,
+    get_scheduler,
+)
 
 
 def prefetch_runs(jobs, workers=None, progress=None):
@@ -99,79 +51,13 @@ def prefetch_runs(jobs, workers=None, progress=None):
     every completed job, in addition to the process-wide handler
     installed via :func:`repro.analysis.progress.set_progress_handler`.
     """
-    # Dedupe by cache key (job lists from several figures overlap) and
-    # drop anything the in-process cache already holds.
-    pending = []
-    seen = set()
-    for benchmark, config, seed in jobs:
-        key = (benchmark, exp._config_key(config), seed)
-        if key in exp._run_cache or key in seen:
-            continue
-        seen.add(key)
-        pending.append((key, (benchmark, config, seed)))
-    total = len(pending)
 
-    def _tick(done, label):
-        report_progress(done, total, label)
+    def on_event(event):
+        report_progress(event.done, event.total, event.text)
         if progress is not None:
-            progress(done, total, label)
+            progress(event.done, event.total, event.text)
 
-    # Parent-side disk-cache pass: cached results are cheap to load and
-    # must not occupy worker slots.
-    done = 0
-    fresh_jobs = []
-    for key, job in pending:
-        benchmark, _config, seed = job
-        result = runcache.fetch(benchmark, key[1], seed)
-        if result is not None:
-            exp._run_cache[key] = result
-            done += 1
-            _tick(done, _label(job, "cached"))
-        else:
-            fresh_jobs.append((key, job))
-    if not fresh_jobs:
-        return 0
-
-    # Pre-record phase: ensure every replay-eligible benchmark's trace
-    # is in the shared on-disk store before dispatch, so N workers
-    # sweeping the same benchmark fetch one recorded trace instead of
-    # each paying the record cost.  Ticks carry a ``record:`` label but
-    # do not advance the job counter (recording is setup, not a job).
-    _seed_traces(fresh_jobs, lambda label: _tick(done, label))
-
-    def _finish(key, job, result):
-        nonlocal done
-        benchmark, _config, seed = job
-        exp._run_cache[key] = result
-        runcache.store(benchmark, key[1], seed, result)
-        done += 1
-        _tick(done, _label(job, _job_kind(job)))
-
-    workers = workers or min(os.cpu_count() or 1, 8)
-    if workers <= 1 or len(fresh_jobs) == 1:
-        for key, job in fresh_jobs:
-            _, result = _execute(job)
-            _finish(key, job, result)
-        return len(fresh_jobs)
-
-    # Bounded submission window, drained as futures complete: a slow
-    # job (picojpeg at paper scale) never blocks collection of the
-    # fast ones, and the queue never holds more than ~2 jobs per
-    # worker.
-    queue = list(reversed(fresh_jobs))
-    window = max(workers * 2, 2)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        running = {}
-        while queue or running:
-            while queue and len(running) < window:
-                key, job = queue.pop()
-                running[pool.submit(_execute, job)] = (key, job)
-            completed, _ = wait(running, return_when=FIRST_COMPLETED)
-            for future in completed:
-                key, job = running.pop(future)
-                _, result = future.result()
-                _finish(key, job, result)
-    return len(fresh_jobs)
+    return get_scheduler().run(jobs, workers=workers, on_event=on_event)
 
 
 # ------------------------------------------------------------ job sets

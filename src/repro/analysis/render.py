@@ -1,9 +1,10 @@
 """Rendering: text tables and the one-shot markdown report.
 
-This module merges the old ``repro.analysis.reporting`` (the
-``format_*`` text-table primitives used by EXPERIMENTS.md) and
-``repro.analysis.report`` (the whole-evaluation markdown document);
-both old names remain importable as deprecation shims.
+One module owns both the ``format_*`` text-table primitives used by
+EXPERIMENTS.md and the whole-evaluation markdown report.  (It merged
+the historical ``repro.analysis.reporting`` and
+``repro.analysis.report`` modules; their deprecation shims were
+removed after two PRs of warning.)
 
 The report is a view over the experiment registry
 (:data:`repro.analysis.engine.EXPERIMENTS`): every spec registered

@@ -1,4 +1,4 @@
-"""Persistent on-disk run cache.
+"""Persistent on-disk run cache — the ``runs`` view of the unified store.
 
 The in-process run cache in :mod:`repro.analysis.experiments` already
 shares simulations between drivers, but it dies with the process: every
@@ -6,6 +6,13 @@ benchmark script, notebook restart and CI job pays for the same
 (benchmark, config, trace) simulations again.  This module persists
 each :class:`~repro.sim.results.RunResult` as one small JSON file so
 reruns with unchanged inputs perform zero fresh simulations.
+
+Since the unified-store refactor the mechanics — keying, atomic
+writes, corruption-as-miss reads, tmp hygiene — live in
+:mod:`repro.store`; this module owns only *what* goes into the key and
+how a :class:`RunResult` serializes.  The on-disk layout is unchanged
+(one ``<digest>.json`` per run in the cache root), so caches written
+by earlier checkouts keep hitting.
 
 Cache key
 ---------
@@ -25,7 +32,9 @@ unchanged, so the key digests four components:
 
 Entries are written atomically (temp file + ``os.replace``) so
 concurrent workers racing on the same key simply overwrite each other
-with identical bytes.
+with identical bytes.  Each entry carries the on-disk format version;
+:func:`fetch` treats a mismatch as a miss, so a checkout that changes
+the entry encoding re-records rather than misreading old files.
 
 Environment knobs
 -----------------
@@ -37,13 +46,12 @@ Environment knobs
 """
 
 import hashlib
-import json
 import os
-import tempfile
 from pathlib import Path
 
 from repro.energy.accounting import CATEGORIES, EnergyBreakdown
 from repro.sim.results import RunResult
+from repro.store import Store, digest
 
 #: Bumped when the on-disk entry format itself changes.
 _FORMAT_VERSION = 1
@@ -65,6 +73,21 @@ def cache_dir():
     if override:
         return Path(override)
     return Path.home() / ".cache" / "repro-nvmr"
+
+
+def unified_store():
+    """The unified :class:`repro.store.Store` rooted at the cache dir.
+
+    The run cache is its root namespace; the trace store
+    (:mod:`repro.sim.tracestore`) hangs its ``traces/{keys,blobs}``
+    namespaces under the same root by default.
+    """
+    return Store(cache_dir())
+
+
+def _runs():
+    """The run namespace: ``<digest>.json`` files in the cache root."""
+    return unified_store().namespace("")
 
 
 def _model_version():
@@ -92,7 +115,7 @@ def entry_key(benchmark, config_key, trace_seed):
     program_hash = _program_hash(benchmark)
     if program_hash is None:
         return None
-    material = json.dumps(
+    return digest(
         {
             "format": _FORMAT_VERSION,
             "model_version": _model_version(),
@@ -100,14 +123,12 @@ def entry_key(benchmark, config_key, trace_seed):
             "program": program_hash,
             "config": list(config_key),
             "trace_seed": trace_seed,
-        },
-        sort_keys=True,
+        }
     )
-    return hashlib.sha256(material.encode()).hexdigest()
 
 
 def _entry_path(key):
-    return cache_dir() / f"{key}.json"
+    return _runs().path(key)
 
 
 # ------------------------------------------------------- serialization
@@ -157,21 +178,27 @@ def contains(benchmark, config_key, trace_seed):
     if not enabled():
         return False
     key = entry_key(benchmark, config_key, trace_seed)
-    return key is not None and _entry_path(key).is_file()
+    return key is not None and _runs().contains(key)
 
 
 def fetch(benchmark, config_key, trace_seed):
-    """Load a cached RunResult, or None on miss/disabled/corrupt."""
+    """Load a cached RunResult, or None on miss/disabled/corrupt.
+
+    An entry recorded under a different on-disk format version is a
+    miss too — the ``"format"`` field every entry carries is validated
+    here, so bumping :data:`_FORMAT_VERSION` re-records old entries
+    instead of misreading them.
+    """
     if not enabled():
         return None
     key = entry_key(benchmark, config_key, trace_seed)
     if key is None:
         return None
-    path = _entry_path(key)
-    try:
-        data = json.loads(path.read_text())
-    except (OSError, ValueError):
+    data = _runs().read_json(key)
+    if not isinstance(data, dict):
         return None
+    if data.get("format") != _FORMAT_VERSION:
+        return None  # stale entry format: a miss, never a misread
     try:
         return _result_from_dict(data["result"])
     except (KeyError, TypeError):
@@ -185,35 +212,12 @@ def store(benchmark, config_key, trace_seed, result):
     key = entry_key(benchmark, config_key, trace_seed)
     if key is None:
         return
-    directory = cache_dir()
-    directory.mkdir(parents=True, exist_ok=True)
-    payload = json.dumps(
-        {"format": _FORMAT_VERSION, "result": _result_to_dict(result)},
-        sort_keys=True,
+    _runs().write_json(
+        key, {"format": _FORMAT_VERSION, "result": _result_to_dict(result)}
     )
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(payload)
-        os.replace(tmp, _entry_path(key))
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
 
 
 def clear_disk_cache():
-    """Delete every entry in the cache directory; returns the count."""
-    removed = 0
-    directory = cache_dir()
-    if not directory.is_dir():
-        return 0
-    for path in directory.glob("*.json"):
-        try:
-            path.unlink()
-            removed += 1
-        except OSError:
-            pass
-    return removed
+    """Delete every entry (and crashed-writer ``*.tmp`` dropping) in
+    the cache directory; returns the number of entries removed."""
+    return _runs().clear()

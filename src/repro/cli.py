@@ -22,6 +22,16 @@ Subcommands
     failures shrink to ``artifacts/repro_*.s`` reproducers.
 ``verify-replay``
     Re-run one such reproducer.
+``serve``
+    Run the simulation service: an asyncio JSON-over-HTTP server
+    exposing ``simulate`` / ``experiment`` / ``artifact`` / ``status``
+    endpoints over the experiment engine (docs/SERVICE.md).
+``submit``
+    Submit experiments to a running server and optionally stream
+    progress and wait for the rendered results.
+``status``
+    Show a running server's job/scheduler/store counters, or one job's
+    state.
 """
 
 import argparse
@@ -271,10 +281,84 @@ def _cmd_experiment(args):
             print(run.rendered)
             if run.artifact_path is not None:
                 print(f"[artifact: {run.artifact_path}]")
+                if name.startswith("pareto"):
+                    # The front renderer is a pure view over the
+                    # artifact; matplotlib is optional and its absence
+                    # skips the figure silently.
+                    from repro.analysis.plots import write_pareto_plot
+
+                    plot = write_pareto_plot(run.artifact_path)
+                    if plot is not None:
+                        print(f"[plot: {plot}]")
             print()
     finally:
         if args.progress:
             set_progress_handler(None)
+    return 0
+
+
+def _cmd_serve(args):
+    from repro.analysis.engine import default_artifact_dir
+    from repro.service.server import serve
+
+    artifact_dir = args.artifacts
+    if artifact_dir is None:
+        artifact_dir = default_artifact_dir()
+    return serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_active=args.max_active,
+        artifact_dir=artifact_dir,
+        announce=lambda server: print(
+            f"repro service on http://{server.host}:{server.port} "
+            f"(artifacts: {artifact_dir})",
+            flush=True,
+        ),
+    )
+
+
+def _cmd_submit(args):
+    from repro.service.client import JobFailed, ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+    settings = "smoke" if args.smoke else ("full" if args.full else "default")
+    status = 0
+    for name in args.names:
+        submitted = client.submit_experiment(
+            name, settings=settings, workers=args.workers
+        )
+        job_id = submitted["job"]
+        coalesced = " (coalesced onto an in-flight twin)" if submitted[
+            "coalesced"] else ""
+        print(f"{name}: {job_id}{coalesced}")
+        if not args.wait:
+            continue
+        if args.progress:
+            for line in client.stream_events(job_id):
+                if "event" in line:
+                    event = line["event"]
+                    print(f"  [{event['done']}/{event['total']}] "
+                          f"{event['label']}", flush=True)
+        try:
+            snapshot = client.wait(job_id, timeout=args.timeout)
+        except JobFailed as failure:
+            print(f"{name}: FAILED: {failure}")
+            status = 1
+            continue
+        print(snapshot["result"]["rendered"])
+        print()
+    return status
+
+
+def _cmd_status(args):
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+    if args.job:
+        print(json.dumps(client.job(args.job), indent=2))
+        return 0
+    print(json.dumps(client.status(), indent=2))
     return 0
 
 
@@ -365,6 +449,48 @@ def build_parser():
     p_exp.add_argument("--progress", action="store_true",
                        help="print per-run progress lines to stderr")
 
+    p_serve = sub.add_parser(
+        "serve", help="run the simulation service (JSON over HTTP)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8321,
+                         help="listen port (0 for an ephemeral port)")
+    p_serve.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="simulation worker processes per job")
+    p_serve.add_argument("--max-active", type=int, default=2, metavar="N",
+                         help="jobs executing concurrently (default 2)")
+    p_serve.add_argument("--artifacts", metavar="DIR", default=None,
+                         help="artifact directory the server writes and "
+                              "serves (default benchmarks/results)")
+
+    p_submit = sub.add_parser(
+        "submit", help="submit experiments to a running service"
+    )
+    p_submit.add_argument("names", nargs="+", metavar="name",
+                          help="experiment ids (see `repro list`)")
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=8321)
+    p_submit.add_argument("--full", action="store_true",
+                          help="paper-scale averaging (10 traces)")
+    p_submit.add_argument("--smoke", action="store_true",
+                          help="minimal CI-smoke averaging")
+    p_submit.add_argument("--workers", type=int, default=None, metavar="N")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="block until each job's rendered result")
+    p_submit.add_argument("--progress", action="store_true",
+                          help="stream per-run progress (implies the "
+                               "events endpoint; use with --wait)")
+    p_submit.add_argument("--timeout", type=float, default=3600.0,
+                          help="seconds to wait per job (with --wait)")
+
+    p_status = sub.add_parser(
+        "status", help="query a running service (or one of its jobs)"
+    )
+    p_status.add_argument("job", nargs="?", default=None,
+                          help="a job id (default: whole-service status)")
+    p_status.add_argument("--host", default="127.0.0.1")
+    p_status.add_argument("--port", type=int, default=8321)
+
     return parser
 
 
@@ -387,6 +513,9 @@ def _dispatch(args):
         "report": _cmd_report,
         "verify-fuzz": _cmd_verify_fuzz,
         "verify-replay": _cmd_verify_replay,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
     }[args.command]
     return handler(args)
 

@@ -1,14 +1,17 @@
 """Content-addressed on-disk store for recorded execution traces.
 
-Lives alongside the persistent run cache
-(:mod:`repro.analysis.runcache`): where the run cache memoizes one
-*(benchmark, config, seed)* result, the trace store memoizes the far
-more expensive raw ingredient — the program's natural instruction
-stream — which every configuration of a sweep shares.
+The ``traces`` view of the unified store (:mod:`repro.store`): where
+the run-cache namespace memoizes one *(benchmark, config, seed)*
+result, the trace namespaces memoize the far more expensive raw
+ingredient — the program's natural instruction stream — which every
+configuration of a sweep shares.  Keying, atomic writes,
+corruption-as-miss reads and tmp hygiene are the store's; this module
+owns the trace key material and the npz payload encoding.
 
 Layout
 ------
-Two levels, like a tiny object store:
+Two namespaces, like a tiny object store (unchanged since PR 4, so
+stores written by earlier checkouts keep hitting):
 
 ``blobs/<content-digest>.npz``
     The trace payload, named by the SHA-256 of its array contents.
@@ -40,19 +43,18 @@ import hashlib
 import io
 import json
 import os
-import tempfile
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from repro.analysis import runcache
 from repro.sim.trace import TRACE_VERSION, ExecutionTrace
+from repro.store import Store, digest
 
 #: Bumped when the on-disk layout itself (not the trace semantics)
 #: changes.
 _FORMAT_VERSION = 1
-
-_EMPTY = b""
 
 
 def enabled():
@@ -68,6 +70,18 @@ def store_dir():
     return runcache.cache_dir() / "traces"
 
 
+def _store():
+    return Store(store_dir())
+
+
+def _keys():
+    return _store().namespace("keys")
+
+
+def _blobs():
+    return _store().namespace("blobs", suffix=".npz")
+
+
 def program_hash(benchmark):
     """SHA-256 of the benchmark's source (None for unknown workloads)."""
     return runcache._program_hash(benchmark)
@@ -75,39 +89,22 @@ def program_hash(benchmark):
 
 def entry_key(program_hash, trace_seed):
     """Digest naming the key file for one (program, seed, version)."""
-    material = json.dumps(
+    return digest(
         {
             "format": _FORMAT_VERSION,
             "trace_version": TRACE_VERSION,
             "program": program_hash,
             "trace_seed": trace_seed,
-        },
-        sort_keys=True,
+        }
     )
-    return hashlib.sha256(material.encode()).hexdigest()
 
 
 def _key_path(key):
-    return store_dir() / "keys" / f"{key}.json"
+    return _keys().path(key)
 
 
-def _blob_path(digest):
-    return store_dir() / "blobs" / f"{digest}.npz"
-
-
-def _atomic_write(path, data):
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(data)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+def _blob_path(blob_digest):
+    return _blobs().path(blob_digest)
 
 
 # ------------------------------------------------------- serialization
@@ -149,15 +146,13 @@ def contains(program_hash, trace_seed):
     """Whether the store holds a current-version trace for this key."""
     if not enabled() or program_hash is None:
         return False
-    key_path = _key_path(entry_key(program_hash, trace_seed))
-    try:
-        entry = json.loads(key_path.read_text())
-    except (OSError, ValueError):
+    entry = _keys().read_json(entry_key(program_hash, trace_seed))
+    if not isinstance(entry, dict):
         return False
     return (
         entry.get("version") == TRACE_VERSION
         and isinstance(entry.get("blob"), str)
-        and _blob_path(entry["blob"]).is_file()
+        and _blobs().contains(entry["blob"])
     )
 
 
@@ -165,95 +160,92 @@ def fetch(program_hash, trace_seed):
     """Load a stored trace, or None on miss/disabled/stale/corrupt."""
     if not enabled() or program_hash is None:
         return None
-    key_path = _key_path(entry_key(program_hash, trace_seed))
-    try:
-        entry = json.loads(key_path.read_text())
-    except (OSError, ValueError):
+    entry = _keys().read_json(entry_key(program_hash, trace_seed))
+    if not isinstance(entry, dict):
         return None
     if entry.get("version") != TRACE_VERSION:
         return None
     blob = entry.get("blob")
     if not isinstance(blob, str):
         return None
-    try:
-        data = _blob_path(blob).read_bytes()
-    except OSError:
+    data = _blobs().read_bytes(blob)
+    if data is None:
         return None
     try:
         return _trace_from_bytes(data)
-    except (KeyError, ValueError, OSError):
+    except (KeyError, ValueError, OSError, zipfile.BadZipFile):
         return None  # corrupt blob; treat as a miss
+
+
+def _blob_is_intact(blobs, blob_digest):
+    """Whether an existing blob actually decodes to a trace.
+
+    Existence alone is not enough to skip the write: a blob truncated
+    by external corruption would otherwise sit under its
+    content-addressed name forever, turning every future lookup into
+    a miss.  Store is the slow path (one simulate already happened),
+    so validating by decoding is cheap relative to what it saves."""
+    data = blobs.read_bytes(blob_digest)
+    if data is None:
+        return False
+    try:
+        return _trace_from_bytes(data) is not None
+    except (KeyError, ValueError, OSError, zipfile.BadZipFile):
+        return False
 
 
 def store(program_hash, trace_seed, trace):
     """Persist a trace; no-op if disabled or the program is unknown."""
     if not enabled() or program_hash is None:
         return
-    digest = hashlib.sha256(trace.digest_material()).hexdigest()
-    blob_path = _blob_path(digest)
-    if not blob_path.is_file():  # content-addressed: dedup across seeds
-        _atomic_write(blob_path, _trace_to_bytes(trace))
-    entry = json.dumps(
+    blob_digest = hashlib.sha256(trace.digest_material()).hexdigest()
+    blobs = _blobs()
+    if not _blob_is_intact(blobs, blob_digest):  # dedup across seeds
+        blobs.write_bytes(blob_digest, _trace_to_bytes(trace))
+    _keys().write_json(
+        entry_key(program_hash, trace_seed),
         {
             "format": _FORMAT_VERSION,
             "version": trace.version,
             "program": program_hash,
             "trace_seed": trace_seed,
-            "blob": digest,
+            "blob": blob_digest,
         },
-        sort_keys=True,
     )
-    _atomic_write(_key_path(entry_key(program_hash, trace_seed)), entry.encode())
 
 
 def clear_store():
-    """Delete every key and blob; returns the number of files removed."""
-    removed = 0
-    directory = store_dir()
-    for sub, pattern in (("keys", "*.json"), ("blobs", "*.npz")):
-        folder = directory / sub
-        if not folder.is_dir():
-            continue
-        for path in folder.glob(pattern):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-    return removed
+    """Delete every key and blob (plus crashed-writer ``*.tmp``
+    droppings); returns the number of entries removed."""
+    return _keys().clear() + _blobs().clear()
 
 
 def prune_stale():
     """Evict entries whose recorded version is stale and blobs no key
     references; returns the number of files removed."""
     removed = 0
-    directory = store_dir()
-    keys_dir = directory / "keys"
+    keys = _keys()
     live_blobs = set()
-    if keys_dir.is_dir():
-        for path in keys_dir.glob("*.json"):
-            try:
-                entry = json.loads(path.read_text())
-            except (OSError, ValueError):
-                entry = None
-            if entry is not None and entry.get("version") == TRACE_VERSION:
-                blob = entry.get("blob")
-                if isinstance(blob, str):
-                    live_blobs.add(blob)
-                continue
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-    blobs_dir = directory / "blobs"
-    if blobs_dir.is_dir():
-        for path in blobs_dir.glob("*.npz"):
-            if path.stem in live_blobs:
-                continue
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+    for key in keys.keys():
+        entry = keys.read_json(key)
+        if isinstance(entry, dict) and entry.get("version") == TRACE_VERSION:
+            blob = entry.get("blob")
+            if isinstance(blob, str):
+                live_blobs.add(blob)
+            continue
+        try:
+            keys.path(key).unlink()
+            removed += 1
+        except OSError:
+            pass
+    blobs = _blobs()
+    for blob in blobs.keys():
+        if blob in live_blobs:
+            continue
+        try:
+            blobs.path(blob).unlink()
+            removed += 1
+        except OSError:
+            pass
+    removed += _store().sweep_tmp()
     return removed

@@ -220,16 +220,14 @@ def test_static_specs_run_without_jobs():
     assert "Map Table Cache" in run.result
 
 
-def test_deprecated_shims_still_export(recwarn):
-    import importlib
+def test_deprecation_shims_are_gone():
+    # The report/reporting shims warned for two PRs and were removed;
+    # the canonical names live in repro.analysis.render.
+    with pytest.raises(ModuleNotFoundError):
+        import repro.analysis.report  # noqa: F401
+    with pytest.raises(ModuleNotFoundError):
+        import repro.analysis.reporting  # noqa: F401
+    from repro.analysis.render import format_series, generate_report
 
-    import repro.analysis.report as report_shim
-    import repro.analysis.reporting as reporting_shim
-
-    importlib.reload(report_shim)
-    importlib.reload(reporting_shim)
-    assert any(
-        issubclass(w.category, DeprecationWarning) for w in recwarn.list
-    )
-    assert callable(report_shim.generate_report)
-    assert callable(reporting_shim.format_series)
+    assert callable(generate_report)
+    assert callable(format_series)

@@ -119,7 +119,7 @@ def test_format_breakdowns():
 
 
 def test_generate_report_restricted_sections():
-    from repro.analysis.report import generate_report
+    from repro.analysis.render import generate_report
 
     text = generate_report(SMOKE, sections=["table 2", "table 4"])
     assert "## Table 2" in text

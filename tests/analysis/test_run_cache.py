@@ -148,6 +148,50 @@ def test_corrupt_entry_is_a_miss():
     assert result.benchmark == BENCH
 
 
+def test_truncated_entry_is_transparently_rerecorded():
+    cached_run(BENCH, CONFIG, SEED)
+    (path,) = runcache.cache_dir().glob("*.json")
+    intact = path.read_text()
+    path.write_text(intact[: len(intact) // 2])  # crashed non-atomic writer
+    clear_run_cache()
+    assert runcache.fetch(BENCH, _config_key(CONFIG), SEED) is None
+    result = cached_run(BENCH, CONFIG, SEED)
+    assert result.benchmark == BENCH
+    assert path.read_text() == intact  # deterministic re-record, same bytes
+
+
+def test_format_version_mismatch_is_a_miss():
+    # Regression: `store` always wrote a "format" field but `fetch`
+    # never checked it — an entry recorded under a different on-disk
+    # format must be a miss, not a misread.
+    first = cached_run(BENCH, CONFIG, SEED)
+    (path,) = runcache.cache_dir().glob("*.json")
+    entry = json.loads(path.read_text())
+    assert entry["format"] == runcache._FORMAT_VERSION
+    entry["format"] = runcache._FORMAT_VERSION + 1
+    path.write_text(json.dumps(entry, sort_keys=True))
+    clear_run_cache()
+    assert runcache.fetch(BENCH, _config_key(CONFIG), SEED) is None
+    # The miss re-simulates and re-records at the current format.
+    assert cached_run(BENCH, CONFIG, SEED) == first
+    assert json.loads(path.read_text())["format"] == runcache._FORMAT_VERSION
+
+
+def test_crashed_writer_tmp_is_ignored_and_cleaned():
+    cached_run(BENCH, CONFIG, SEED)
+    directory = runcache.cache_dir()
+    dropping = directory / "tmpcrashed.tmp"
+    dropping.write_text('{"format": 1, "result": {"trunc')
+    clear_run_cache()
+    # The dropping is invisible to reads...
+    assert runcache.fetch(BENCH, _config_key(CONFIG), SEED) is not None
+    assert len(_entries()) == 1
+    # ...and the clear path sweeps it along with the entries.
+    runcache.clear_disk_cache()
+    assert not dropping.exists()
+    assert _entries() == []
+
+
 def test_parallel_prefetch_seeds_same_entries_as_serial():
     jobs = [
         (BENCH, PlatformConfig(arch=arch, policy="jit"), seed)

@@ -97,6 +97,51 @@ def test_corrupt_artifacts_read_as_misses(store, hist_trace):
     assert tracestore.fetch(phash, 0) is None
 
 
+def test_corrupt_entries_are_transparently_rerecorded(store, hist_trace):
+    phash = tracestore.program_hash("hist")
+    tracestore.store(phash, 0, hist_trace)
+    key_path = store / "keys" / f"{tracestore.entry_key(phash, 0)}.json"
+    blob = json.loads(key_path.read_text())["blob"]
+    blob_path = store / "blobs" / f"{blob}.npz"
+    intact_key, intact_blob = key_path.read_text(), blob_path.read_bytes()
+
+    # Truncate both halves of the entry (a crashed non-atomic writer
+    # could never produce this — atomic_write makes it unreachable —
+    # but external corruption can).  Both read as misses...
+    blob_path.write_bytes(intact_blob[: len(intact_blob) // 2])
+    key_path.write_text(intact_key[: len(intact_key) // 2])
+    assert tracestore.fetch(phash, 0) is None
+    # ...and re-storing repairs them in place: the key entry is
+    # byte-identical (the blob digest covers trace *content*, so the
+    # repaired pair lands under the same names; npz container bytes
+    # embed zip timestamps and are only semantically stable).
+    tracestore.store(phash, 0, hist_trace)
+    assert key_path.read_text() == intact_key
+    assert len(blob_path.read_bytes()) == len(intact_blob)
+    restored = tracestore.fetch(phash, 0)
+    assert restored.steps == hist_trace.steps
+    assert (restored.indices == hist_trace.indices).all()
+
+
+def test_crashed_writer_tmp_is_ignored_and_cleaned(store, hist_trace):
+    phash = tracestore.program_hash("hist")
+    tracestore.store(phash, 0, hist_trace)
+    key_dropping = store / "keys" / "tmpdead1.tmp"
+    blob_dropping = store / "blobs" / "tmpdead2.tmp"
+    key_dropping.write_text('{"version": ')
+    blob_dropping.write_bytes(b"PK\x03half an npz")
+    # Droppings are invisible to lookups and prune keeps live entries...
+    assert tracestore.contains(phash, 0)
+    assert tracestore.prune_stale() == 2  # ...but sweeps the droppings.
+    assert not key_dropping.exists()
+    assert not blob_dropping.exists()
+    assert tracestore.contains(phash, 0)
+    # clear_store sweeps droppings too.
+    (store / "keys" / "tmpdead3.tmp").write_text("x")
+    assert tracestore.clear_store() == 2
+    assert list((store / "keys").glob("*.tmp")) == []
+
+
 def test_prune_stale_evicts_old_entries_and_orphans(store, hist_trace):
     phash = tracestore.program_hash("hist")
     tracestore.store(phash, 0, hist_trace)
