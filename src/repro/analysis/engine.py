@@ -191,9 +191,12 @@ def _simulate(benchmark, config, trace_seed):
     trace is recorded once (or fetched from the shared trace store) and
     every further configuration of the sweep streams it through the
     architecture models — bit-identical to full simulation, pinned by
-    ``tests/sim/test_replay_differential.py``.  Ineligible runs
-    (``REPRO_REPLAY=0``, the Ideal architecture, ``fast=False``) fall
-    back to :func:`repro.workloads.run_workload` unchanged.
+    ``tests/sim/test_replay_differential.py``.  Replay itself defaults
+    to compiled-epoch quantum windows (:mod:`repro.sim.epochs`;
+    ``REPRO_REPLAY_COMPILED=0`` forces the scalar window — see
+    ``docs/REPLAY.md``).  Ineligible runs (``REPRO_REPLAY=0``, the
+    Ideal architecture, ``fast=False``) fall back to
+    :func:`repro.workloads.run_workload` unchanged.
     """
     from repro.sim import replay
 

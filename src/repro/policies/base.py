@@ -57,6 +57,15 @@ class BackupPolicy:
     #: less often.
     guard_event_revoke = False
 
+    #: Upper bound, in cycles, on any quantum-guard budget this policy
+    #: will ever issue (None = unbounded / not declared).  A replay
+    #: executor uses it to size its batching: a policy whose windows
+    #: are structurally capped below the vectorization breakeven (e.g.
+    #: Spendthrift's ``check_interval``) gets the scalar window with
+    #: zero per-window overhead instead of a compiled one that would
+    #: fall back on every single call.
+    quantum_budget_hint = None
+
     #: Tunable parameters the Pareto auto-tuner may sweep
     #: (:class:`TunableSpec` tuple); empty means nothing to tune.
     tunables = ()

@@ -142,6 +142,9 @@ class SpendthriftPolicy(BackupPolicy):
             raise ValueError("check_interval must be positive")
         self.model = model
         self.check_interval = check_interval
+        # Guard budgets never exceed the check interval (see decide):
+        # declares the window-length cap so replay can size batching.
+        self.quantum_budget_hint = check_interval
         self._seed = seed
         self._rng = np.random.default_rng(seed)
         self._since_check = 0

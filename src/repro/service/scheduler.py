@@ -51,12 +51,14 @@ def _execute(job):
 
 
 def _job_kind(job):
-    """How a fresh job will execute: ``"replay"`` or ``"sim"``."""
+    """How a fresh job will execute: ``"replay[compiled]"`` (epoch
+    scripts, the default), ``"replay"`` (scalar window) or ``"sim"``."""
+    from repro.sim.epochs import compiled_enabled
     from repro.sim.replay import replay_enabled, replay_supported
 
     _benchmark, config, _seed = job
     if replay_enabled() and replay_supported(config):
-        return "replay"
+        return "replay[compiled]" if compiled_enabled() else "replay"
     return "sim"
 
 
@@ -271,7 +273,10 @@ class Scheduler:
         seeded = set()
         for _key, job in fresh_jobs:
             benchmark, _config, seed = job
-            if (benchmark, seed) in seeded or _job_kind(job) != "replay":
+            if (
+                (benchmark, seed) in seeded
+                or not _job_kind(job).startswith("replay")
+            ):
                 continue
             seeded.add((benchmark, seed))
             tick("record", f"{benchmark}/seed{seed}")

@@ -26,6 +26,14 @@ Replay is used when:
   ``REPRO_FAST=0`` both layers fall back to the reference
   interpreter, preserving its A/B debugging role).
 
+Quantum windows run through the compiled-epoch executor
+(:mod:`repro.sim.epochs`) by default — whole failure-free epochs as
+array ops over a precompiled per-(geometry, cost-table) script, bit
+identical to the scalar window.  ``REPRO_REPLAY_COMPILED=0`` (or
+``ReplayPlatform(..., compiled=False)``) forces the scalar
+:class:`_SpanState`; compiled-script construction failures fall back
+to it automatically.
+
 Fault injectors (:mod:`repro.energy.faultinject`) work under replay —
 their hooks fire at the same execution boundaries — which the
 crash-consistency fuzzer uses to cross-check the replayer.  The
@@ -600,9 +608,10 @@ class ReplayPlatform(Platform):
     :mod:`repro.sim.platform` — the differential suite compares both.
     """
 
-    __slots__ = ("_image", "_mark", "_k")
+    __slots__ = ("_image", "_mark", "_k", "_compiled")
 
-    def __init__(self, program, image, config=None, trace=None, benchmark_name=""):
+    def __init__(self, program, image, config=None, trace=None,
+                 benchmark_name="", compiled=None):
         config = config or PlatformConfig()
         # A plain Core: replay never dispatches instructions, so paying
         # FastCore's closure translation per replay would be waste.
@@ -613,6 +622,9 @@ class ReplayPlatform(Platform):
             benchmark_name=benchmark_name,
         )
         self._image = image
+        #: Compiled-epoch windows: True/False force, None = the
+        #: ``REPRO_REPLAY_COMPILED`` knob (resolved per run).
+        self._compiled = compiled
         #: Trace cursor a backup taken *now* would checkpoint.
         self._mark = 0
         #: Trace cursor execution resumes from (set by restores).
@@ -658,6 +670,44 @@ class ReplayPlatform(Platform):
         else:
             self._replay_forward()
         return self._result()
+
+    def _make_span(self, jstatic, dirty_reorder, step_energy,
+                   access_amount, hit_amount,
+                   overhead_leak=None, hit_ovh=None):
+        """The quantum-window executor for this run.
+
+        Compiled-epoch (:mod:`repro.sim.epochs`) when enabled — by the
+        ``compiled=`` override or the ``REPRO_REPLAY_COMPILED`` knob —
+        with automatic fallback to the scalar :class:`_SpanState` when
+        construction fails; scalar otherwise.  Both are bit-identical;
+        only the batching differs.
+        """
+        from repro.sim import epochs
+
+        use_compiled = self._compiled
+        if use_compiled is None:
+            use_compiled = epochs.compiled_enabled()
+        if use_compiled:
+            # A policy whose guard budgets are structurally capped below
+            # the vectorization breakeven (Spendthrift's check_interval)
+            # can never profit from a compiled span — every window would
+            # fall back scalar and pay the delegation for nothing.
+            hint = getattr(self.policy, "quantum_budget_hint", None)
+            if hint is not None and hint < epochs._GM2_MIN_SPAN:
+                use_compiled = False
+        if use_compiled:
+            span = epochs.make_span(
+                self._image, self.arch, jstatic, dirty_reorder,
+                step_energy, access_amount, hit_amount,
+                overhead_leak, hit_ovh,
+            )
+            if span is not None:
+                return span
+        return _SpanState(
+            self._image, self.arch, jstatic, dirty_reorder,
+            step_energy, access_amount, hit_amount,
+            overhead_leak, hit_ovh,
+        )
 
     def _turbo(self):
         """The exact predicate the fast engine uses to inline the cache
@@ -723,8 +773,8 @@ class ReplayPlatform(Platform):
         arch_store = arch.store
         span = None
         if turbo and injector is None:
-            span = _SpanState(
-                image, arch, jstatic, dirty_reorder,
+            span = self._make_span(
+                jstatic, dirty_reorder,
                 step_energy, access_amount, hit_amount,
             )
         steps = 0
@@ -1037,8 +1087,8 @@ class ReplayPlatform(Platform):
         arch_store = arch.store
         span = None
         if turbo and injector is None:
-            span = _SpanState(
-                image, arch, jstatic, dirty_reorder,
+            span = self._make_span(
+                jstatic, dirty_reorder,
                 step_energy, access_amount, hit_amount,
                 overhead_leak, hit_ovh,
             )

@@ -36,6 +36,7 @@ amounts (the products are formed exactly as the simulator forms them,
 so replays stay bit-identical).
 """
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional
 
@@ -192,6 +193,7 @@ class ReplayImage:
         "cum_cycles", "_fwd_amounts", "_ovh_amounts", "_cyc_array",
         "_mem_positions", "_mem_kinds", "_mem_addrs", "_mem_values",
         "_geom_layouts", "_span_support", "_span_geoms", "_span_tables",
+        "_content_digest", "_epoch_scripts",
     )
 
     def __init__(self, program, trace):
@@ -290,6 +292,18 @@ class ReplayImage:
         self._span_support = None
         self._span_geoms = {}
         self._span_tables = {}
+        # Computed here (the trace itself is not retained): names this
+        # image's derived artifacts, e.g. on-disk epoch scripts.
+        self._content_digest = hashlib.sha256(
+            trace.digest_material()
+        ).hexdigest()
+        self._epoch_scripts = {}
+
+    def content_digest(self):
+        """SHA-256 of the recorded trace's content (the same digest the
+        trace store names blobs by) — the anchor for content-addressed
+        derived artifacts such as epoch scripts."""
+        return self._content_digest
 
     def mem_layout(self, block_mask, set_shift, set_mask):
         """Per-step memory ops with cache geometry precomputed.
@@ -332,6 +346,7 @@ class ReplayImage:
         before step ``k`` (int64, length ``steps + 1``), and ``cycb``
         is the per-step cycle count with the +1 hit bonus already added
         on memory steps (within a span every memory op is a hit).
+        ``mpos`` (element 5) is the step position of each memory op.
         """
         cached = self._span_support
         if cached is None:
@@ -342,11 +357,13 @@ class ReplayImage:
             mprefix = np.zeros(n + 1, dtype=np.int64)
             np.cumsum(is_mem, out=mprefix[1:])
             cycb = self._cyc_array + is_mem
+            mpos = np.asarray(self._mem_positions, dtype=np.int64)
             # Python-list mirrors for the scalar window prefix, where
             # per-element numpy indexing from the interpreter would
             # dominate the step cost.
             cached = self._span_support = (
-                mprefix, cycb, is_mem, mprefix.tolist(), cycb.tolist()
+                mprefix, cycb, is_mem, mprefix.tolist(), cycb.tolist(),
+                mpos,
             )
         return cached
 
@@ -384,12 +401,19 @@ class ReplayImage:
         mstep = [None] * self.steps
         for pos, tup in zip(self._mem_positions, mtups):
             mstep[pos] = tup
+        is_store = (kinds == STORE_WORD) | (kinds == STORE_BYTE)
+        store_prefix = np.zeros(len(kinds) + 1, dtype=np.int64)
+        np.cumsum(is_store, out=store_prefix[1:])
         cached = {
             "blk": blk,
             "nblocks": len(uniq),
             "id_of_block": {int(b): i for i, b in enumerate(uniq)},
             "is_byte": kinds > 1,
-            "is_store": (kinds == STORE_WORD) | (kinds == STORE_BYTE),
+            "is_store": is_store,
+            "store_prefix": store_prefix,
+            "sidx": set_idx.astype(np.int64),
+            "word": words.astype(np.int64),
+            "val": self._mem_values.astype(np.int64),
             "mtups": mtups,
             "mstep": mstep,
         }
@@ -415,6 +439,9 @@ class ReplayImage:
                overhead_leak, hit_ovh)
         cached = self._span_tables.get(key)
         if cached is not None:
+            # LRU: refresh on hit, so an alternating access pattern over
+            # a handful of cost tables never thrashes the 4-entry cap.
+            self._span_tables[key] = self._span_tables.pop(key)
             return cached
         n = self.steps
         is_mem = self.span_support()[2]

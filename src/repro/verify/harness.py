@@ -237,6 +237,102 @@ def run_replay_cross_check(program, plan, expected, base, words, image):
     return None
 
 
+#: Two natural-power regimes for the compiled cross-check.  The harsh
+#: capacitor browns out mid-epoch constantly — generated programs
+#: usually cannot finish, but every re-execution breaks a precompiled
+#: span at a different step, sweeping the chunk-boundary logic — while
+#: the moderate one lets programs complete (final-state oracle) with a
+#: brown-out or two along the way.
+_HARSH_CAPACITOR_NJ = 60.0
+_BROWNOUT_CAPACITOR_NJ = 2000.0
+#: Step bound for the harsh regime (a no-progress loop re-executes the
+#: same short program thousands of times; cap the cost per case).
+_CROSS_CHECK_MAX_STEPS = 60_000
+
+
+def run_compiled_power_cross_check(
+    program, plan, expected, base, words, image, trace_seed,
+    capacitor_nj=_BROWNOUT_CAPACITOR_NJ,
+):
+    """Scalar vs compiled replay under *natural* power failures.
+
+    Adversarial injection disables quantum windows entirely, so the
+    injected cross-checks above never reach the compiled epoch executor
+    (:mod:`repro.sim.epochs`).  This check instead drives both replay
+    modes with a harvested-energy trace and a deliberately small
+    capacitor: quantum windows engage, precompiled epochs break on real
+    brown-outs mid-span, and the two executors must agree on every
+    oracle verdict, RunResult field, event count and final NVM word.
+    An *agreed* ``no-progress`` verdict is clean — a legitimate outcome
+    under harsh power, not a bug — but any one-sided verdict or bit of
+    divergence (including divergent final state behind an identical
+    error message) is a ``replay-divergence`` failure.
+    """
+    from repro.energy.traces import HarvestTrace
+    from repro.sim.replay import ReplayPlatform
+
+    config = replace(
+        _make_config(plan),
+        capacitor_energy=capacitor_nj,
+        max_steps=_CROSS_CHECK_MAX_STEPS,
+    )
+    outcomes = {}
+    for compiled in (False, True):
+        platform = ReplayPlatform(
+            program,
+            image,
+            config,
+            trace=HarvestTrace(trace_seed),
+            benchmark_name="verify-fuzz",
+            compiled=compiled,
+        )
+        record, result = _finish_plan(
+            platform, base, expected, monitored=True
+        )
+        outcomes[compiled] = (record, result, platform)
+    sca_record, sca_result, sca_plat = outcomes[False]
+    com_record, com_result, com_plat = outcomes[True]
+
+    def _verdict(record):
+        return (record.kind, record.detail) if record is not None else None
+
+    if _verdict(sca_record) != _verdict(com_record):
+        return ViolationRecord(
+            kind="replay-divergence",
+            detail=(
+                f"oracle verdicts diverge under harvested power: "
+                f"scalar={_verdict(sca_record)!r} "
+                f"compiled={_verdict(com_record)!r}"
+            ),
+        )
+    # Compare observable platform state even when both runs died the
+    # same way: two no-progress verdicts with identical messages can
+    # still hide divergent execution, but not divergent NVM images.
+    if len(com_plat.events) != len(sca_plat.events):
+        return ViolationRecord(
+            kind="replay-divergence",
+            detail="event-log length diverges between replay modes",
+        )
+    if com_plat.nvm._words != sca_plat.nvm._words:
+        return ViolationRecord(
+            kind="replay-divergence",
+            detail="final raw NVM image diverges between replay modes",
+        )
+    if sca_record is not None:
+        return None if sca_record.kind == "no-progress" else sca_record
+    for name in sca_result.__dataclass_fields__:
+        if getattr(com_result, name) != getattr(sca_result, name):
+            return ViolationRecord(
+                kind="replay-divergence",
+                detail=(
+                    f"RunResult.{name} diverges between replay modes: "
+                    f"scalar={getattr(sca_result, name)!r} "
+                    f"compiled={getattr(com_result, name)!r}"
+                ),
+            )
+    return None
+
+
 def run_differential(program, plan, expected, base, words):
     """Run one plan on both engines; any observable divergence fails.
 
@@ -375,6 +471,33 @@ def run_case(case, seed, policy_overrides=None):
 
     structures = dict(_STRUCTURES[case % len(_STRUCTURES)])
     watchdog_kwargs = _tuned("watchdog", policy_overrides)
+    if case % 4 == 1:
+        # Compiled-epoch cross-check under harvested power: injection
+        # disables quantum windows, so this is the only place the fuzzer
+        # exercises repro.sim.epochs against real mid-span brown-outs.
+        # Watchdog only — its cycle-budget guard keeps windows open
+        # under harsh power, where jit pre-emptively shuts down before
+        # a guard ever engages.  Alternate the two capacitor regimes.
+        if image is None:
+            from repro.sim.trace import ReplayImage, record_trace
+
+            image = ReplayImage(program, record_trace(program))
+        capacitor_nj = (
+            _HARSH_CAPACITOR_NJ
+            if (case >> 2) % 2 == 0
+            else _BROWNOUT_CAPACITOR_NJ
+        )
+        plan = RunPlan(
+            "nvmr" if (case >> 2) % 2 == 0 else "clank", "watchdog", True,
+            (), structures, watchdog_kwargs,
+        )
+        runs += 2
+        record = run_compiled_power_cross_check(
+            program, plan, expected, base, words, image,
+            trace_seed=(seed << 8) ^ case, capacitor_nj=capacitor_nj,
+        )
+        if record is not None:
+            return runs, FuzzFailure(case, seed, plan, record, spec)
     if case % 8 == 0:
         # Differential: same schedule, both engines, full bit-identity.
         plan = RunPlan(

@@ -2,13 +2,18 @@
 
 The record/replay pipeline (:mod:`repro.sim.replay`) claims its results
 are indistinguishable from full simulation.  This suite holds it to
-that across the *entire* registered architecture and policy matrix —
-the full :class:`RunResult` (energy floats bit for bit, every counter),
-the platform event-log length, every final NVM word, and the verified
-program outputs — including configurations where the simulator itself
-fails (``never`` on an architecture that needs backups must fail
-identically under replay).
+that across the *entire* registered architecture and policy matrix and
+all four executors at once — the reference interpreter, the fast
+engine, the scalar replay window and the compiled-epoch replay window
+(:mod:`repro.sim.epochs`) must agree on the full :class:`RunResult`
+(energy floats bit for bit, every counter), the platform event-log
+length, every final NVM word, the committed checkpoint cursor and the
+verified program outputs — including configurations where the
+simulator itself fails (``never`` on an architecture that needs
+backups must fail identically under replay).
 """
+
+from dataclasses import replace
 
 import pytest
 
@@ -41,34 +46,63 @@ def _outcome(platform):
 
 
 def _compare(bench, config, seed=0):
+    """Reference == fast == scalar replay == compiled replay."""
     program = load_program(bench)
+    image = get_image(bench)
     sim_out, sim = _outcome(
         Platform(program, config, trace=HarvestTrace(seed), benchmark_name=bench)
     )
-    rep_out, rep = _outcome(
-        ReplayPlatform(
-            program,
-            get_image(bench),
-            config,
-            trace=HarvestTrace(seed),
-            benchmark_name=bench,
-        )
-    )
-    assert rep_out[0] == sim_out[0]
+    others = {
+        "reference": _outcome(
+            Platform(
+                program,
+                replace(config, fast=False),
+                trace=HarvestTrace(seed),
+                benchmark_name=bench,
+            )
+        ),
+        "scalar-replay": _outcome(
+            ReplayPlatform(
+                program, image, config,
+                trace=HarvestTrace(seed), benchmark_name=bench,
+                compiled=False,
+            )
+        ),
+        "compiled-replay": _outcome(
+            ReplayPlatform(
+                program, image, config,
+                trace=HarvestTrace(seed), benchmark_name=bench,
+                compiled=True,
+            )
+        ),
+    }
+    for tag, (out, plat) in others.items():
+        assert out[0] == sim_out[0], tag
+        if sim_out[0] == "ok":
+            sim_result, result = sim_out[1], out[1]
+            # Field-by-field so a failure names exactly what diverged.
+            for name in sim_result.__dataclass_fields__:
+                assert getattr(result, name) == getattr(sim_result, name), (
+                    tag, name,
+                )
+            assert len(plat.events) == len(sim.events), tag
+            # Each executor must also reproduce memory *contents*, not
+            # just the stats — energy and counters do not depend on
+            # stored values, so this catches a whole class of
+            # data-path bugs the result comparison cannot.
+            assert plat.nvm._words == sim.nvm._words, tag
+            verify_platform(bench, plat)
+        else:
+            assert out[1] == sim_out[1], tag
     if sim_out[0] == "ok":
-        sim_result, rep_result = sim_out[1], rep_out[1]
-        # Field-by-field so a failure names exactly what diverged.
-        for name in sim_result.__dataclass_fields__:
-            assert getattr(rep_result, name) == getattr(sim_result, name), name
-        assert len(rep.events) == len(sim.events)
-        # Replay must also reproduce memory *contents*, not just the
-        # stats — energy and counters do not depend on stored values,
-        # so this catches a whole class of data-path bugs the result
-        # comparison cannot.
-        assert rep.nvm._words == sim.nvm._words
-        verify_platform(bench, rep)
-    else:
-        assert rep_out[1] == sim_out[1]
+        # Both replay modes must land on the same committed checkpoint
+        # cursor — the trace position a restore would resume from.
+        scalar_plat = others["scalar-replay"][1]
+        compiled_plat = others["compiled-replay"][1]
+        assert (
+            compiled_plat.nvm.committed_checkpoint().get("replay_k")
+            == scalar_plat.nvm.committed_checkpoint().get("replay_k")
+        )
 
 
 @pytest.mark.parametrize("arch", REPLAY_ARCHES)
@@ -101,11 +135,12 @@ _TUNED_IDS = [
 ]
 
 
+@pytest.mark.parametrize("arch", ["clank", "nvmr"])
 @pytest.mark.parametrize("policy,kwargs", TUNED_SUBGRID, ids=_TUNED_IDS)
-def test_replay_matches_simulator_for_tuned_thresholds(policy, kwargs):
+def test_replay_matches_simulator_for_tuned_thresholds(arch, policy, kwargs):
     _compare(
         "hist",
-        PlatformConfig(arch="nvmr", policy=policy, policy_kwargs=dict(kwargs)),
+        PlatformConfig(arch=arch, policy=policy, policy_kwargs=dict(kwargs)),
     )
 
 
@@ -148,6 +183,103 @@ def test_ideal_is_bypassed():
         PlatformConfig(arch="nvmr", policy="jit", fast=False)
     )
     assert replay_supported(PlatformConfig(arch="nvmr", policy="jit"))
+
+
+def test_compiled_knob_and_fallback(monkeypatch):
+    """``REPRO_REPLAY_COMPILED`` selects the window executor, and any
+    construction failure falls back to the scalar window silently."""
+    from repro.sim import epochs
+    from repro.sim.replay import _SpanState
+
+    program = load_program("hist")
+    image = get_image("hist")
+    config = PlatformConfig(arch="nvmr", policy="jit")
+
+    def span_of(platform):
+        return platform._make_span(
+            jstatic=True, dirty_reorder=True, step_energy=1.0,
+            access_amount=1.0, hit_amount=3.0,
+        )
+
+    platform = ReplayPlatform(
+        program, image, config, trace=HarvestTrace(0), benchmark_name="hist"
+    )
+    monkeypatch.setenv("REPRO_REPLAY_COMPILED", "0")
+    assert not epochs.compiled_enabled()
+    assert type(span_of(platform)) is _SpanState
+    monkeypatch.setenv("REPRO_REPLAY_COMPILED", "1")
+    assert epochs.compiled_enabled()
+    assert type(span_of(platform)) is epochs.CompiledSpanState
+    # The explicit constructor override beats the environment knob.
+    forced_off = ReplayPlatform(
+        program, image, config, trace=HarvestTrace(0),
+        benchmark_name="hist", compiled=False,
+    )
+    assert type(span_of(forced_off)) is _SpanState
+    # Construction failure (a poisoned script store, an unexpected
+    # geometry) must degrade to the scalar window, never to an error.
+    def boom(*args, **kwargs):
+        raise RuntimeError("poisoned script")
+
+    monkeypatch.setattr(epochs, "get_script", boom)
+    assert type(span_of(platform)) is _SpanState
+
+
+def test_compiled_replay_equals_scalar_under_adversarial_chunking(monkeypatch):
+    """Pathological chunk boundaries (prefix=1, chunk=2) must not move
+    a single bit — every window exercises the chunk-edge logic."""
+    from repro.sim import epochs
+
+    monkeypatch.setattr(epochs, "_SCALAR_PREFIX", 1)
+    monkeypatch.setattr(epochs, "_CHUNK", 2)
+    monkeypatch.setattr(epochs, "_GM2_MIN_SPAN", 1)
+    monkeypatch.setattr(epochs, "_ADAPT_MIN_GAIN", 0)
+    program = load_program("hist")
+    image = get_image("hist")
+    config = PlatformConfig(arch="nvmr", policy="watchdog")
+    results = {}
+    for compiled in (False, True):
+        platform = ReplayPlatform(
+            program, image, config, trace=HarvestTrace(0),
+            benchmark_name="hist", compiled=compiled,
+        )
+        results[compiled] = (platform.run(), platform)
+    scalar_result, scalar_platform = results[False]
+    compiled_result, compiled_platform = results[True]
+    for name in scalar_result.__dataclass_fields__:
+        assert getattr(compiled_result, name) == getattr(
+            scalar_result, name
+        ), name
+    assert compiled_platform.nvm._words == scalar_platform.nvm._words
+
+
+def test_span_tables_cache_is_lru():
+    """The 4-entry ``span_tables`` cache must evict least-recently-*used*,
+    not oldest-inserted — a sweep alternating between two cost tables
+    (e.g. scalar vs compiled cross-checks of the same config) would
+    otherwise rebuild the flat charge arrays on every window."""
+    image = get_image("hist")
+    image._span_tables.clear()
+
+    def key(step_energy):
+        return (step_energy, 1.0, 3.0, None, None)
+
+    tables = {e: image.span_tables(e, 1.0, 3.0) for e in (1.0, 2.0, 3.0, 4.0)}
+    # A hit returns the cached tuple (identity, not a rebuild) and
+    # refreshes the entry to most-recently-used.
+    assert image.span_tables(1.0, 1.0, 3.0) is tables[1.0]
+    # A fifth key evicts the true LRU (2.0), not the oldest insert (1.0).
+    image.span_tables(5.0, 1.0, 3.0)
+    assert key(2.0) not in image._span_tables
+    assert key(1.0) in image._span_tables
+    assert image.span_tables(1.0, 1.0, 3.0) is tables[1.0]
+    assert list(image._span_tables) == [key(3.0), key(4.0), key(5.0), key(1.0)]
+    # The motivating pattern: alternating two hot keys over a full cache
+    # must never thrash — every access stays a hit.
+    for _ in range(8):
+        assert image.span_tables(5.0, 1.0, 3.0) is not None
+        assert image.span_tables(1.0, 1.0, 3.0) is tables[1.0]
+    image._span_tables.clear()
 
 
 def test_engine_routes_cache_misses_through_replay(monkeypatch):
